@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench experiments tables examples cover clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full benchmark pass, as recorded in bench_output.txt.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Every table and figure of the paper.
+experiments:
+	go run ./cmd/adcpsim -exp all
+
+tables:
+	go run ./cmd/tablegen
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/paramserver
+	go run ./examples/kvcache
+	go run ./examples/dbanalytics
+	go run ./examples/graphmining
+	go run ./examples/groupcomm
+	go run ./examples/scheduler
+
+cover:
+	go test -cover ./...
+
+clean:
+	go clean ./...

@@ -1,0 +1,399 @@
+// Benchmark harness: one benchmark per table and figure of the paper.
+// Each benchmark regenerates its experiment and reports the headline
+// quantity as custom metrics (ReportMetric), so `go test -bench=. -benchmem`
+// prints the reproduced series alongside simulator throughput.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	BenchmarkTable1Apps        — Table 1  (E1)
+//	BenchmarkTable2Sweep       — Table 2  (E2)
+//	BenchmarkTable3Demux       — Table 3  (E3)
+//	BenchmarkFig2Convergence   — Figures 1+2 (E4)
+//	BenchmarkFig3Replication   — Figure 3 (E5)
+//	BenchmarkFig4Walk          — Figure 4 (E6)
+//	BenchmarkFig5GlobalArea    — Figure 5 (E7)
+//	BenchmarkFig6ArrayWidth    — Figure 6 / §3.2 (E8)
+//	BenchmarkSec4MultiClock    — §4 multi-clock memory (E9)
+//	BenchmarkSec4Congestion    — §4 g-cell congestion (E9)
+//	BenchmarkTensionSweep      — §1 motivation (E10)
+//	BenchmarkCoflowSched       — §5 scheduling extension (E12)
+//	BenchmarkDemuxSweep        — §3.3 ablation (E13)
+//	BenchmarkCacheHit          — Zipf caching effectiveness (E15)
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/swswitch"
+)
+
+// BenchmarkTable1Apps runs the four coflow applications end-to-end on both
+// architectures (E1). Reported metrics: RMT-vs-ADCP CCT ratio per app.
+func BenchmarkTable1Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				ratio := float64(r.RMTCCT) / float64(r.ADCPCCT)
+				b.ReportMetric(ratio, "cct-ratio:"+shortName(r.App))
+			}
+		}
+	}
+}
+
+func shortName(app string) string {
+	switch {
+	case len(app) == 0:
+		return "?"
+	default:
+		for i, c := range app {
+			if c == ' ' {
+				return app[:i]
+			}
+		}
+		return app
+	}
+}
+
+// BenchmarkTable2Sweep regenerates Table 2 (E2) and reports each row's
+// required pipeline frequency in GHz.
+func BenchmarkTable2Sweep(b *testing.B) {
+	var rows []analytic.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Table2()
+	}
+	for _, r := range rows {
+		b.ReportMetric(analytic.RoundGHz(r.FreqGHz*1e9),
+			fmt.Sprintf("GHz@%gG", r.ThroughputGbps))
+	}
+}
+
+// BenchmarkTable3Demux regenerates Table 3 (E3) and reports the demuxed
+// frequencies.
+func BenchmarkTable3Demux(b *testing.B) {
+	var rows []analytic.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Table3()
+	}
+	for _, r := range rows {
+		b.ReportMetric(analytic.RoundGHz(r.FreqGHz*1e9),
+			fmt.Sprintf("GHz@%gGx%gppp", r.PortSpeedGbps, r.PortsPerPipeline))
+	}
+}
+
+// BenchmarkFig2Convergence runs the coflow-convergence experiment (E4) and
+// reports RMT's ingress overhead for the widest coflow.
+func BenchmarkFig2Convergence(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Convergence(experiments.DefaultConvergenceConfig(), []int{15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = rows[0].RMTOverhead
+	}
+	b.ReportMetric(overhead, "rmt-ingress-overhead")
+	b.ReportMetric(0, "adcp-ingress-overhead")
+}
+
+// BenchmarkFig3Replication runs the table-replication experiment (E5) and
+// reports the capacity ratio at 16 keys/packet.
+func BenchmarkFig3Replication(b *testing.B) {
+	var rows []experiments.ReplicationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.Replication([]int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	b.ReportMetric(float64(r.ADCPMeasuredCap)/float64(r.RMTMeasuredCap), "capacity-ratio@k16")
+}
+
+// BenchmarkFig4Walk traces the ADCP region walk (E6).
+func BenchmarkFig4Walk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Walk(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5GlobalArea runs the global-partitioned-area demonstration
+// (E7) and reports the ports reached from partitioned state.
+func BenchmarkFig5GlobalArea(b *testing.B) {
+	var rep *experiments.GlobalAreaReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rep, err = experiments.GlobalArea()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.PortsReached), "ports-reached")
+	b.ReportMetric(float64(rep.CrossPipelineDeliveries), "cross-pipeline-deliveries")
+}
+
+// BenchmarkFig6ArrayWidth runs the key-rate sweep (E8) and reports the
+// modeled speedup at each width — the paper's 16× claim.
+func BenchmarkFig6ArrayWidth(b *testing.B) {
+	var rows []experiments.KeyRateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.KeyRate(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup@w%d", r.Width))
+	}
+}
+
+// BenchmarkFig6MeasuredLookups measures actual simulator lookup throughput
+// for scalar-vs-array stage memory — the wall-clock shape behind E8.
+func BenchmarkFig6MeasuredLookups(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mem  *mat.StageMemory
+	}{
+		{"scalar", mat.NewStageMemory(mat.ModeScalar, 16, 64*1024, 1)},
+		{"array16", mat.NewStageMemory(mat.ModeArray, 16, 64*1024, 1)},
+	} {
+		keys := make([]uint64, 16)
+		for i := range keys {
+			keys[i] = uint64(i)
+			mode.mem.Install(uint64(i), mat.Result{})
+		}
+		results := make([]mat.Result, 16)
+		hits := make([]bool, 16)
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if mode.mem.Mode() == mat.ModeScalar {
+					for _, k := range keys {
+						mode.mem.Lookup(k)
+					}
+				} else {
+					if _, err := mode.mem.LookupBatch(keys, results, hits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
+}
+
+// BenchmarkSec4MultiClock runs the multi-clock memory analysis (E9).
+func BenchmarkSec4MultiClock(b *testing.B) {
+	var rows []experiments.MultiClockRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.MultiClock(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.MemoryClockGHz, "memGHz@w16")
+}
+
+// BenchmarkSec4Congestion runs the floorplan comparison (E9) and reports
+// the peak-congestion ratio between monolithic and interleaved TMs.
+func BenchmarkSec4Congestion(b *testing.B) {
+	var mono, inter *floorplan.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, mono, inter, err = experiments.Congestion(floorplan.DefaultFloorplanParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mono.PeakCongestion/inter.PeakCongestion, "peak-ratio")
+}
+
+// BenchmarkTensionSweep runs the §1 motivation sweep (E10) and reports the
+// hardware/software throughput gap at small programs.
+func BenchmarkTensionSweep(b *testing.B) {
+	var rows []experiments.TensionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.Tension(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RMTPPS/rows[0].SoftwarePPS, "hw/sw-gap@1op")
+}
+
+// --- throughput micro-benchmarks on the switch models themselves ---
+
+// BenchmarkRMTForwarding measures simulator packets/sec through a full RMT
+// switch path (ingress → TM → egress).
+func BenchmarkRMTForwarding(b *testing.B) {
+	cfg := rmt.DefaultConfig()
+	cfg.Ports = 16
+	cfg.Pipelines = 4
+	sw, err := rmt.New(cfg, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := packet.BuildRaw(packet.Header{DstPort: uint16((i + 1) % 16)}, 40)
+		pkt.IngressPort = i % 16
+		if _, err := sw.Process(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkADCPForwarding measures simulator packets/sec through the full
+// ADCP path (ingress → TM1 → central → TM2 → egress).
+func BenchmarkADCPForwarding(b *testing.B) {
+	cfg := core.DefaultConfig()
+	sw, err := core.New(cfg, core.Programs{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := packet.BuildRaw(packet.Header{DstPort: uint16((i + 1) % 16)}, 40)
+		pkt.IngressPort = i % 16
+		if _, err := sw.Process(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkParamServerRound measures a full aggregation round end-to-end
+// on both architectures (the Table 1 headline app at benchmark scale).
+func BenchmarkParamServerRound(b *testing.B) {
+	ps := apps.PSConfig{Workers: 12, ModelSize: 64, Width: 4}
+	b.Run("adcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Ports = 16
+			cfg.DemuxFactor = 2
+			cfg.CentralPipelines = 4
+			cfg.EgressPipelines = 4
+			pipe := cfg.Pipe
+			pipe.Stages = 6
+			pipe.RegisterCellsPerStage = 1024
+			cfg.Pipe = pipe
+			sw, err := apps.NewParamServerADCP(cfg, ps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := apps.RunParamServer(sw, netsim.DefaultConfig(16), ps, 1, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rmt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := rmt.DefaultConfig()
+			cfg.Ports = 16
+			cfg.Pipelines = 4
+			pipe := cfg.Pipe
+			pipe.Stages = 6
+			pipe.RegisterCellsPerStage = 1024
+			cfg.Pipe = pipe
+			sw, err := apps.NewParamServerRMT(cfg, ps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := apps.RunParamServer(sw, netsim.DefaultConfig(16), ps, 1, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSoftwareSwitch measures the run-to-completion model's simulated
+// forwarding rate (the E10 baseline substrate).
+func BenchmarkSoftwareSwitch(b *testing.B) {
+	sw, err := swswitch.New(swswitch.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := packet.BuildRaw(packet.Header{DstPort: 3}, 40)
+	handler := func(d *packet.Decoded) ([]int, int) { return []int{int(d.Base.DstPort)}, 8 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Process(pkt, handler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoflowSched runs the §5 coflow-aware scheduling comparison
+// (E12) and reports the FIFO/SCF mean-CCT ratio.
+func BenchmarkCoflowSched(b *testing.B) {
+	var results []experiments.CoflowSchedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, results, err = experiments.CoflowSched(experiments.DefaultCoflowSchedConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var fifo, scf float64
+	for _, r := range results {
+		switch r.Discipline {
+		case "FIFO (packet-unit)":
+			fifo = float64(r.MeanCCT)
+		case "shortest-coflow-first (coflow-unit)":
+			scf = float64(r.MeanCCT)
+		}
+	}
+	b.ReportMetric(fifo/scf, "fifo/scf-mean-cct")
+}
+
+// BenchmarkCacheHit runs the Zipf cache sweep (E15) and reports the hit
+// rate of a 256-entry cache at skew 1.2.
+func BenchmarkCacheHit(b *testing.B) {
+	var rows []experiments.CacheHitRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.CacheHit([]int{256}, []float64{1.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].HitRate, "hit-rate@256:zipf1.2")
+}
+
+// BenchmarkDemuxSweep runs the §3.3 ablation (E13) and reports the clock
+// reduction at 1:4.
+func BenchmarkDemuxSweep(b *testing.B) {
+	var rows []experiments.DemuxRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.DemuxSweep(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RequiredClockGHz/rows[len(rows)-1].RequiredClockGHz, "clock-reduction@1:4")
+}

@@ -1,0 +1,110 @@
+// Command adcpc compiles a textual switch program (see program.Parse for
+// the format) against an RMT or ADCP target and prints the placement
+// report: stage assignment, table replication, SRAM cost, recirculation
+// passes, and PHV pressure — or the reason the program is infeasible.
+//
+// Usage:
+//
+//	adcpc -target rmt  prog.txt
+//	adcpc -target adcp prog.txt
+//	adcpc -example                 # compile a built-in demo program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/stats"
+)
+
+const exampleSrc = `# Multi-key cache with routing and an ACL.
+program democache
+field kv_op: 8
+field coflow_id: 32
+table cache exact entries=16384 keys=8
+table route lpm entries=1024
+table acl ternary entries=256
+register hits cells=1024
+after cache hits
+`
+
+func main() {
+	target := flag.String("target", "adcp", "compilation target: rmt or adcp")
+	example := flag.Bool("example", false, "compile the built-in example program")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *example:
+		src = exampleSrc
+		fmt.Print(src)
+		fmt.Println()
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adcpc:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := program.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adcpc:", err)
+		os.Exit(1)
+	}
+	var tgt program.Target
+	switch *target {
+	case "rmt":
+		tgt = program.RMTTarget()
+	case "adcp":
+		tgt = program.ADCPTarget()
+	default:
+		fmt.Fprintf(os.Stderr, "adcpc: unknown target %q (rmt, adcp)\n", *target)
+		os.Exit(2)
+	}
+	pl, err := program.Compile(spec, tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adcpc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report(pl))
+}
+
+func report(pl *program.Placement) string {
+	t := stats.NewTable(
+		fmt.Sprintf("placement of %q on %s (%d stages used, %d pass(es)/packet, %d PHV bits)",
+			pl.Program, pl.Target, pl.StagesUsed, pl.MaxPasses, pl.PHVBitsUsed),
+		"resource", "stage", "replication", "SRAM entries",
+	)
+	names := make([]string, 0, len(pl.Tables))
+	for n := range pl.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tp := pl.Tables[n]
+		t.AddRow("table "+n, fmt.Sprintf("%d", tp.Stage),
+			fmt.Sprintf("%d", tp.Replication), fmt.Sprintf("%d", tp.SRAMEntries))
+	}
+	regs := make([]string, 0, len(pl.Registers))
+	for n := range pl.Registers {
+		regs = append(regs, n)
+	}
+	sort.Strings(regs)
+	for _, n := range regs {
+		t.AddRow("register "+n, fmt.Sprintf("%d", pl.Registers[n]), "-", "-")
+	}
+	out := t.String()
+	if pl.RecirculationOverhead > 0 {
+		out += fmt.Sprintf("WARNING: %.0f%% of pipeline bandwidth burned by recirculation\n",
+			100*pl.RecirculationOverhead)
+	}
+	return out
+}

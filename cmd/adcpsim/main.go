@@ -1,0 +1,254 @@
+// Command adcpsim runs the paper-reproduction experiments and prints their
+// tables. Run with -list to see the experiment ids (they correspond to the
+// tables and figures of the paper; see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	adcpsim -exp all
+//	adcpsim -exp keyrate
+//	adcpsim -exp table1,convergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() error
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := []experiment{
+		{"table1", "Table 1: coflow applications end-to-end, RMT vs ADCP", runTable1},
+		{"table2", "Table 2: port multiplexing poor scalability", runTable2},
+		{"table3", "Table 3: port demultiplexing examples", runTable3},
+		{"convergence", "Figures 1+2: coflow convergence cost", runConvergence},
+		{"replication", "Figure 3: table replication under scalar processing", runReplication},
+		{"walk", "Figure 4: ADCP architecture walkthrough", runWalk},
+		{"globalarea", "Figure 5: global partitioned area properties", runGlobalArea},
+		{"keyrate", "Figure 6 / §3.2: key rate vs array width", runKeyRate},
+		{"feasibility", "§4: multi-clock memory + g-cell congestion", runFeasibility},
+		{"tension", "§1: line rate vs run-to-completion", runTension},
+		{"landscape", "§1/§2: the four architecture models compared", runLandscape},
+		{"coflowsched", "§5 extension: coflow-aware scheduling", runCoflowSched},
+		{"demux", "§3.3 ablation: demux factor sweep", runDemux},
+		{"buffer", "TM buffer sizing under incast", runBuffer},
+		{"cachehit", "cache hit rate vs size under Zipf GETs", runCacheHit},
+		{"saturation", "recirculation tax as completion time under load", runSaturation},
+	}
+
+	if *list || *expFlag == "" {
+		fmt.Println("experiments:")
+		for _, e := range exps {
+			fmt.Printf("  %-12s %s\n", e.name, e.desc)
+		}
+		if *expFlag == "" && !*list {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	all := false
+	for _, n := range strings.Split(*expFlag, ",") {
+		n = strings.TrimSpace(n)
+		if n == "all" {
+			all = true
+		} else if n != "" {
+			want[n] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range exps {
+		known[e.name] = true
+	}
+	for n := range want {
+		if !known[n] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
+			os.Exit(2)
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if all || want[e.name] {
+			if err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+}
+
+func runTable1() error {
+	t, _, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runTable2() error {
+	t, _ := experiments.Table2()
+	fmt.Print(t)
+	return nil
+}
+
+func runTable3() error {
+	t, _ := experiments.Table3()
+	fmt.Print(t)
+	return nil
+}
+
+func runConvergence() error {
+	t, _, err := experiments.Convergence(experiments.DefaultConvergenceConfig(), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runReplication() error {
+	t, _, err := experiments.Replication(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runWalk() error {
+	t, _, err := experiments.Walk()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runGlobalArea() error {
+	t, _, err := experiments.GlobalArea()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runKeyRate() error {
+	t, _, err := experiments.KeyRate(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runFeasibility() error {
+	t, _, err := experiments.MultiClock(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	fmt.Println()
+	ct, _, _, err := experiments.Congestion(floorplan.DefaultFloorplanParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(ct)
+	fmt.Println()
+	pt, _, err := experiments.Power()
+	if err != nil {
+		return err
+	}
+	fmt.Print(pt)
+	fmt.Println()
+	pc, _, err := experiments.ParseCost()
+	if err != nil {
+		return err
+	}
+	fmt.Print(pc)
+	return nil
+}
+
+func runTension() error {
+	t, _, err := experiments.Tension(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runLandscape() error {
+	t, _, err := experiments.Landscape()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runCoflowSched() error {
+	t, _, err := experiments.CoflowSched(experiments.DefaultCoflowSchedConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runDemux() error {
+	t, _, err := experiments.DemuxSweep(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runBuffer() error {
+	t, _, err := experiments.BufferSweep(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runCacheHit() error {
+	t, _, err := experiments.CacheHit(nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func runSaturation() error {
+	t, _, err := experiments.Saturation()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}

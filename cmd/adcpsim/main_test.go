@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// Every experiment runner must execute cleanly — this is the CLI's
+// contract (the experiments' numeric assertions live in
+// internal/experiments).
+func TestAllRunners(t *testing.T) {
+	runners := map[string]func() error{
+		"table1":      runTable1,
+		"table2":      runTable2,
+		"table3":      runTable3,
+		"convergence": runConvergence,
+		"replication": runReplication,
+		"walk":        runWalk,
+		"globalarea":  runGlobalArea,
+		"keyrate":     runKeyRate,
+		"feasibility": runFeasibility,
+		"tension":     runTension,
+		"landscape":   runLandscape,
+		"coflowsched": runCoflowSched,
+		"demux":       runDemux,
+		"buffer":      runBuffer,
+		"cachehit":    runCacheHit,
+		"saturation":  runSaturation,
+	}
+	for name, run := range runners {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

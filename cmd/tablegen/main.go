@@ -1,0 +1,39 @@
+// Command tablegen regenerates the paper's Tables 2 and 3 from the
+// line-rate arithmetic in internal/analytic.
+//
+// Usage:
+//
+//	tablegen           # both tables
+//	tablegen -table 2
+//	tablegen -table 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to print (2 or 3; 0 = both)")
+	flag.Parse()
+	switch *table {
+	case 0:
+		t2, _ := experiments.Table2()
+		t3, _ := experiments.Table3()
+		fmt.Print(t2)
+		fmt.Println()
+		fmt.Print(t3)
+	case 2:
+		t2, _ := experiments.Table2()
+		fmt.Print(t2)
+	case 3:
+		t3, _ := experiments.Table3()
+		fmt.Print(t3)
+	default:
+		fmt.Fprintf(os.Stderr, "tablegen: no table %d in the paper (use 2 or 3)\n", *table)
+		os.Exit(2)
+	}
+}

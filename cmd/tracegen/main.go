@@ -1,0 +1,142 @@
+// Command tracegen generates workload traces (the Table 1 patterns) in the
+// ADCPTRC1 binary format, and replays traces through either switch
+// architecture, printing delivery statistics.
+//
+// Usage:
+//
+//	tracegen -workload ml -out ml.trc              # record
+//	tracegen -replay ml.trc -arch adcp             # replay
+//	tracegen -workload kv -out - | tracegen -replay - -arch rmt
+//
+// "-" means stdout/stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload to record: ml, kv, db, graph, group")
+	out := flag.String("out", "", "output trace path ('-' = stdout)")
+	replay := flag.String("replay", "", "trace path to replay ('-' = stdin)")
+	arch := flag.String("arch", "adcp", "replay architecture: adcp or rmt")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	switch {
+	case *wl != "" && *out != "":
+		if err := record(*wl, *out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := run(*replay, *arch); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(kind string, seed uint64) ([]workload.Injection, error) {
+	gap := 100 * sim.Nanosecond
+	switch kind {
+	case "ml":
+		return workload.ML(workload.MLParams{CoflowID: 1, Workers: 8, ModelSize: 256, ValuesPerPacket: 16, Gap: gap, Seed: seed})
+	case "kv":
+		return workload.KV(workload.KVParams{CoflowID: 1, Clients: 8, OpsPerClient: 64, KeysPerPacket: 8, KeySpace: 4096, PutFraction: 0.1, Gap: gap, Seed: seed})
+	case "db":
+		injs, _, err := workload.DB(workload.DBParams{CoflowID: 1, Query: 1, Sources: 8, TuplesPerSource: 512, TuplesPerPacket: 8, KeySpace: 256, Selectivity: 0.5, Gap: gap, Seed: seed})
+		return injs, err
+	case "graph":
+		return workload.Graph(workload.GraphParams{CoflowID: 1, Hosts: 8, Vertices: 256, EdgesPerHost: 128, EdgesPerPacket: 8, Rounds: 3, Gap: gap, Seed: seed})
+	case "group":
+		return workload.Group(workload.GroupParams{CoflowID: 1, GroupID: 1, Source: 0, Chunks: 64, ChunkLen: 512, Gap: gap})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (ml, kv, db, graph, group)", kind)
+	}
+}
+
+func record(kind, path string, seed uint64) error {
+	injs, err := generate(kind, seed)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tracefile.WriteAll(w, injs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d packets (%s workload, seed %d)\n", len(injs), kind, seed)
+	return nil
+}
+
+func run(path, arch string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	injs, err := tracefile.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var sw netsim.SwitchModel
+	switch arch {
+	case "adcp":
+		cfg := core.DefaultConfig()
+		s, err := core.New(cfg, core.Programs{})
+		if err != nil {
+			return err
+		}
+		sw = s
+	case "rmt":
+		cfg := rmt.DefaultConfig()
+		cfg.Ports = 16
+		cfg.Pipelines = 4
+		s, err := rmt.New(cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		sw = s
+	default:
+		return fmt.Errorf("unknown arch %q (adcp, rmt)", arch)
+	}
+	n, err := netsim.New(netsim.DefaultConfig(16), sw)
+	if err != nil {
+		return err
+	}
+	for _, inj := range injs {
+		if inj.Src >= 16 {
+			continue
+		}
+		n.SendAt(inj.Src, inj.Pkt, inj.At)
+	}
+	n.Run()
+	fmt.Printf("replayed %d packets through %s: delivered %d, errors %d, finished at %v\n",
+		len(injs), arch, n.Delivered(), len(n.Errors()), n.Now())
+	return nil
+}

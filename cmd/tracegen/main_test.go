@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tracefile"
+)
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, kind := range []string{"ml", "kv", "db", "graph", "group"} {
+		injs, err := generate(kind, 1)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if len(injs) == 0 {
+			t.Errorf("%s: empty workload", kind)
+		}
+	}
+	if _, err := generate("bogus", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRecordAndReplayFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	if err := record("ml", path, 7); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs, err := tracefile.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, arch := range []string{"adcp", "rmt"} {
+		if err := run(path, arch); err != nil {
+			t.Errorf("replay %s: %v", arch, err)
+		}
+	}
+	if err := run(path, "bogus"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.trc"), "adcp"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

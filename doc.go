@@ -1,0 +1,13 @@
+// Package repro reproduces "Rethinking the Switch Architecture for
+// Stateful In-network Computing" (Lerner, Zoni, Costa, Antichi — HotNets
+// '24): an executable model of the classic RMT switch architecture and of
+// the proposed Application-Defined Coflow Processor (ADCP), together with
+// the paper's application workloads and an experiment harness that
+// regenerates every table and figure.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package contains only the benchmark harness (bench_test.go);
+// the implementation lives under internal/ and the entry points under
+// cmd/ and examples/.
+package repro

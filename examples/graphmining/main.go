@@ -1,0 +1,88 @@
+// Graph pattern mining example (Table 1, GraphINC-style): the switch holds
+// a graph's edge set partitioned across the global area; hosts run BSP
+// supersteps sending candidate edges; the switch filters non-edges in a
+// single array match per batch and routes survivors to their owner hosts.
+//
+//	go run ./examples/graphmining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Ports = 8
+	cfg.DemuxFactor = 2
+	cfg.CentralPipelines = 4
+	cfg.EgressPipelines = 2
+
+	gc := apps.GraphConfig{Hosts: 8, EdgesPerPacket: 8}
+	sw, err := apps.NewGraphMineADCP(cfg, gc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The graph: a ring with chords over 64 vertices.
+	const V = 64
+	installed := 0
+	for v := uint32(0); v < V; v++ {
+		for _, e := range []packet.Edge{{Src: v, Dst: (v + 1) % V}, {Src: v, Dst: (v + 7) % V}} {
+			if err := sw.InstallEdge(e); err != nil {
+				log.Fatal(err)
+			}
+			installed++
+		}
+	}
+	fmt.Printf("installed %d edges across %d partitions (%d SRAM entries — no replication)\n",
+		installed, cfg.CentralPipelines, sw.SRAMUsed())
+
+	// Two BSP supersteps of random candidates from 6 hosts.
+	cands, err := workload.Graph(workload.GraphParams{
+		CoflowID: 1, Hosts: 6, Vertices: V, EdgesPerHost: 64,
+		EdgesPerPacket: 8, Rounds: 2, Gap: 50 * sim.Nanosecond, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := netsim.New(netsim.DefaultConfig(8), sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var d packet.Decoded
+	candidates := 0
+	for _, inj := range cands {
+		if err := d.DecodePacket(inj.Pkt); err != nil {
+			log.Fatal(err)
+		}
+		candidates += len(d.Graph.Edges)
+		for _, batch := range apps.PartitionEdges(d.Graph.Edges, cfg.CentralPipelines, gc.EdgesPerPacket) {
+			pkt := packet.Build(packet.Header{
+				Proto: packet.ProtoGraph, SrcPort: d.Base.SrcPort, CoflowID: 1,
+			}, &packet.GraphHeader{Round: d.Graph.Round, Edges: batch})
+			n.SendAt(inj.Src, pkt, inj.At)
+		}
+	}
+	n.Run()
+	fmt.Printf("hosts proposed %d candidate edges over 2 supersteps\n", candidates)
+	fmt.Printf("switch matched %d real edges and routed them to their owners:\n", sw.Matched())
+	for h := 0; h < 8; h++ {
+		edges := 0
+		for _, p := range n.Host(h).Received {
+			if err := d.DecodePacket(p); err == nil {
+				edges += len(d.Graph.Edges)
+			}
+		}
+		if edges > 0 {
+			fmt.Printf("  host %d (owns vertices ≡ %d mod 8): %d surviving candidates\n", h, h, edges)
+		}
+	}
+}

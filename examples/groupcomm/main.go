@@ -1,0 +1,46 @@
+// Group communication example (Table 1, zero-sided-RDMA-style): the
+// switch replicates a source's chunk stream to a group whose members have
+// different NIC speeds; the shared TM buffer absorbs the fan-out and every
+// member completes.
+//
+//	go run ./examples/groupcomm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Ports = 8
+	cfg.DemuxFactor = 2
+	cfg.CentralPipelines = 4
+	cfg.EgressPipelines = 2
+
+	group := apps.GroupConfig{Members: map[uint32][]int{1: {2, 4, 7}}}
+	sw, err := apps.NewGroupCommADCP(cfg, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Member 7 has a 10 Gbps NIC; the others 100 Gbps.
+	netCfg := apps.DefaultNetHetero(8, map[int]float64{7: 10})
+	run := apps.GroupRun{CoflowID: 1, GroupID: 1, Source: 0, Chunks: 50, ChunkLen: 1400, Members: 3}
+	res, err := apps.RunGroupComm(sw, netCfg, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("source sent %d chunks of %d B; switch replicated to %d members\n",
+		run.Chunks, run.ChunkLen, run.Members)
+	for _, m := range group.Members[1] {
+		fmt.Printf("  member %d received %d chunks (%d bytes)\n",
+			m, len(res.Network.Host(m).Received), res.Network.Host(m).RxBytes)
+	}
+	fmt.Printf("coflow completion time: %v (gated by the slow NIC on member 7)\n", res.CCT)
+	fmt.Printf("TM2 peak buffer occupancy: %d bytes\n", sw.TM2().PeakOccupancy())
+}

@@ -1,0 +1,70 @@
+package analytic
+
+import "math"
+
+// First-order CMOS power/area model for the §4 feasibility discussion:
+// "translating the lower frequency into specific benefits requires a more
+// thorough design, but speculatively, it can lower the power requirements
+// ... [and] can also translate into using potentially smaller gates".
+//
+// Dynamic power is P = α·C·V²·f. Within a process's DVFS window, the
+// sustainable voltage scales roughly linearly with frequency, giving the
+// classic P ∝ f³ rule of thumb; outside that window V is pinned at Vmin
+// and P ∝ f. This is a *relative* model — it compares pipeline designs at
+// different clocks, and makes no absolute-watt claims.
+
+// PowerModel holds the scaling parameters.
+type PowerModel struct {
+	// FMin is the frequency at/below which voltage no longer scales down
+	// (P ∝ f below it).
+	FMinHz float64
+	// FRef and PRef anchor the curve: the reference design's frequency
+	// and its (relative) power, typically 1.0.
+	FRefHz float64
+	PRef   float64
+}
+
+// DefaultPowerModel anchors at the Table 2 RMT pipeline: 1.62 GHz = 1.0
+// relative power, with voltage scaling available down to 0.5 GHz.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{FMinHz: 0.5e9, FRefHz: 1.62e9, PRef: 1.0}
+}
+
+// RelativePower returns the per-pipeline dynamic power of a design clocked
+// at f, relative to the reference.
+func (m PowerModel) RelativePower(fHz float64) float64 {
+	if fHz <= 0 {
+		return 0
+	}
+	cube := func(f float64) float64 {
+		if f <= m.FMinHz {
+			// Voltage pinned: P ∝ f, continuous at FMin.
+			return (m.FMinHz / m.FRefHz) * (m.FMinHz / m.FRefHz) * (f / m.FRefHz)
+		}
+		r := f / m.FRefHz
+		return r * r * r
+	}
+	return m.PRef * cube(fHz) / cube(m.FRefHz)
+}
+
+// IsoThroughputPower compares designs that move the SAME aggregate packet
+// rate: one pipeline at fHz versus m pipelines at fHz/m (the §3.3 demux
+// trade). It returns total relative power for the m-way design.
+func (m PowerModel) IsoThroughputPower(fHz float64, ways int) float64 {
+	if ways < 1 {
+		ways = 1
+	}
+	return float64(ways) * m.RelativePower(fHz/float64(ways))
+}
+
+// RelativeGateArea is the §4 "smaller gates" heuristic: designs closing
+// timing at lower frequency can use smaller (higher-Vt, lower-drive)
+// cells. First-order: area tracks drive strength ∝ f/fref, floored at 0.5
+// (wires and SRAM do not shrink).
+func RelativeGateArea(fHz, fRefHz float64) float64 {
+	if fRefHz <= 0 {
+		return 1
+	}
+	r := fHz / fRefHz
+	return math.Max(0.5, r)
+}

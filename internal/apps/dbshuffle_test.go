@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/workload"
+)
+
+func dbConfig() DBConfig {
+	return DBConfig{KeySpace: 64, DestHosts: []int{5, 6, 7}, TuplesPerPacket: 8}
+}
+
+// expectedCounts aggregates the workload's tuples in Go as ground truth.
+func expectedCounts(injs []workload.Injection) map[uint32]uint32 {
+	want := make(map[uint32]uint32)
+	var d packet.Decoded
+	for _, inj := range injs {
+		if err := d.DecodePacket(inj.Pkt); err != nil {
+			panic(err)
+		}
+		for _, tp := range d.DB.Tuples {
+			want[tp.Key] += tp.Measure
+		}
+	}
+	return want
+}
+
+// repartitioned rewrites the workload with partition-pure batches (what a
+// shuffle producer does for the switch's partitioner).
+func repartitioned(t *testing.T, injs []workload.Injection, partitions, maxBatch int) []workload.Injection {
+	t.Helper()
+	var out []workload.Injection
+	var d packet.Decoded
+	for _, inj := range injs {
+		if err := d.DecodePacket(inj.Pkt); err != nil {
+			t.Fatal(err)
+		}
+		hdr := d.Base
+		for _, batch := range PartitionTuples(d.DB.Tuples, partitions, maxBatch) {
+			pkt := packet.Build(packet.Header{
+				Proto: packet.ProtoDB, SrcPort: hdr.SrcPort, CoflowID: hdr.CoflowID, FlowID: hdr.FlowID,
+			}, &packet.DBHeader{Query: d.DB.Query, Stage: 0, Tuples: batch})
+			out = append(out, workload.Injection{Src: inj.Src, Pkt: pkt, At: inj.At})
+		}
+	}
+	return out
+}
+
+func TestDBShuffleADCPAggregatesAndFlushes(t *testing.T) {
+	db := dbConfig()
+	sw, err := NewDBShuffleADCP(smallADCP(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs, _, err := workload.DB(workload.DBParams{
+		CoflowID: 11, Query: 1, Sources: 4, TuplesPerSource: 200,
+		TuplesPerPacket: 8, KeySpace: db.KeySpace, Selectivity: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedCounts(injs)
+	P := sw.Config().CentralPipelines
+	for _, inj := range repartitioned(t, injs, P, db.TuplesPerPacket) {
+		inj.Pkt.IngressPort = inj.Src
+		if _, err := sw.Process(inj.Pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Aggregates match ground truth before any flush.
+	got := DBAggregatesADCP(sw, db)
+	if len(got) != len(want) {
+		t.Fatalf("aggregated %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// Flush each partition; results land on the right destination hosts.
+	received := make(map[uint32]uint32)
+	for p := 0; p < P; p++ {
+		fp := FlushPacket(11, 1, p)
+		fp.IngressPort = 0
+		outs, err := sw.Process(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d packet.Decoded
+		for _, o := range outs {
+			if err := d.DecodePacket(o); err != nil {
+				t.Fatal(err)
+			}
+			if d.DB.Stage != 2 {
+				t.Errorf("result stage = %d", d.DB.Stage)
+			}
+			for _, tp := range d.DB.Tuples {
+				if o.EgressPort != db.destOf(tp.Key) {
+					t.Errorf("key %d delivered on port %d, want %d", tp.Key, o.EgressPort, db.destOf(tp.Key))
+				}
+				received[tp.Key] += tp.Measure
+			}
+		}
+	}
+	for k, v := range want {
+		if received[k] != v {
+			t.Errorf("flushed key %d = %d, want %d", k, received[k], v)
+		}
+	}
+}
+
+func TestDBShuffleRMTAggregatesWithRecirculation(t *testing.T) {
+	db := dbConfig()
+	cfg := smallRMT() // 6 stages → 5 tuples per pass
+	sw, err := NewDBShuffleRMT(cfg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs, total, err := workload.DB(workload.DBParams{
+		CoflowID: 12, Query: 1, Sources: 4, TuplesPerSource: 100,
+		TuplesPerPacket: 8, KeySpace: db.KeySpace, Selectivity: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedCounts(injs)
+	for _, inj := range injs {
+		inj.Pkt.IngressPort = inj.Src
+		if _, err := sw.Process(inj.Pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := DBAggregatesRMT(sw, db)
+	sum := uint32(0)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d = %d, want %d", k, got[k], v)
+		}
+		sum += v
+	}
+	if int(sum) != total {
+		t.Fatalf("ground truth inconsistent: %d vs %d", sum, total)
+	}
+	// Every packet needed the loopback steer (sources 0..3 are on
+	// pipeline 0, aggregation is pipeline 1) plus width recirculations
+	// for 8 tuples over 5 usable stages (1 extra pass).
+	if sw.RecirculationTraversals() == 0 {
+		t.Error("no recirculation recorded — RMT cost missing")
+	}
+	if sw.IngressOverheadFraction() <= 0.4 {
+		t.Errorf("ingress overhead = %v, want > 0.4 (steer + width passes)", sw.IngressOverheadFraction())
+	}
+}
+
+func TestDBShuffleValidation(t *testing.T) {
+	if _, err := NewDBShuffleADCP(smallADCP(), DBConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewDBShuffleRMT(smallRMT(), DBConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	big := DBConfig{KeySpace: 1 << 20, DestHosts: []int{1}, TuplesPerPacket: 8}
+	if _, err := NewDBShuffleADCP(smallADCP(), big); err == nil {
+		t.Error("keyspace beyond registers accepted (ADCP)")
+	}
+	if _, err := NewDBShuffleRMT(smallRMT(), big); err == nil {
+		t.Error("keyspace beyond registers accepted (RMT)")
+	}
+}
+
+func TestPartitionTuples(t *testing.T) {
+	tuples := make([]packet.DBTuple, 50)
+	for i := range tuples {
+		tuples[i] = packet.DBTuple{Key: uint32(i), Measure: 1}
+	}
+	batches := PartitionTuples(tuples, 4, 8)
+	n := 0
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > 8 {
+			t.Fatalf("batch size %d", len(b))
+		}
+		p := b[0].Key % 4
+		for _, tp := range b {
+			if tp.Key%4 != p {
+				t.Fatal("mixed partitions in batch")
+			}
+			n++
+		}
+	}
+	if n != 50 {
+		t.Errorf("covered %d tuples", n)
+	}
+}

@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func graphEdges() []packet.Edge {
+	// A small known graph.
+	return []packet.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 0}, {Src: 0, Dst: 2},
+	}
+}
+
+func candidatePkt(src int, edges []packet.Edge) *packet.Packet {
+	p := packet.Build(packet.Header{Proto: packet.ProtoGraph, SrcPort: uint16(src), CoflowID: 13},
+		&packet.GraphHeader{Round: 1, Edges: edges})
+	p.IngressPort = src
+	return p
+}
+
+func TestGraphMineADCPFiltersAndRoutes(t *testing.T) {
+	gc := GraphConfig{Hosts: 8, EdgesPerPacket: 8}
+	sw, err := NewGraphMineADCP(smallADCP(), gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range graphEdges() {
+		if err := sw.InstallEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.SRAMUsed() != 6 {
+		t.Errorf("SRAM = %d, want 6 (one entry per edge)", sw.SRAMUsed())
+	}
+	// Candidates: two real edges sharing partition (src 0), two fake.
+	P := sw.Config().CentralPipelines
+	batches := PartitionEdges([]packet.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, // real
+		{Src: 0, Dst: 3}, {Src: 4, Dst: 2}, // fake
+	}, P, 8)
+	var delivered []*packet.Packet
+	for _, b := range batches {
+		outs, err := sw.Process(candidatePkt(1, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, outs...)
+	}
+	// Survivors: (0,1) and (0,2), owner = 0.
+	if sw.Matched() != 2 {
+		t.Errorf("Matched = %d, want 2", sw.Matched())
+	}
+	n := 0
+	var d packet.Decoded
+	for _, o := range delivered {
+		if err := d.DecodePacket(o); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range d.Graph.Edges {
+			if o.EgressPort != int(e.Src)%8 {
+				t.Errorf("edge %v delivered to %d", e, o.EgressPort)
+			}
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("survivors delivered = %d, want 2", n)
+	}
+}
+
+func TestGraphMineRMTReplicationSRAM(t *testing.T) {
+	gc := GraphConfig{Hosts: 8, EdgesPerPacket: 8}
+	sw, err := NewGraphMineRMT(smallRMT(), gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range graphEdges() {
+		if err := sw.InstallEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 edges × 8 copies × 2 pipelines.
+	if sw.SRAMUsed() != 96 {
+		t.Errorf("SRAM = %d, want 96", sw.SRAMUsed())
+	}
+	outs, err := sw.Process(candidatePkt(0, []packet.Edge{{Src: 0, Dst: 1}, {Src: 9, Dst: 9}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("delivered %d", len(outs))
+	}
+	var d packet.Decoded
+	d.DecodePacket(outs[0])
+	if len(d.Graph.Edges) != 1 || d.Graph.Edges[0] != (packet.Edge{Src: 0, Dst: 1}) {
+		t.Errorf("survivors = %+v", d.Graph.Edges)
+	}
+}
+
+func TestGraphMineValidation(t *testing.T) {
+	if _, err := NewGraphMineADCP(smallADCP(), GraphConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewGraphMineRMT(smallRMT(), GraphConfig{Hosts: 4, EdgesPerPacket: 99}); err == nil {
+		t.Error("replication beyond MAUs accepted")
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	var edges []packet.Edge
+	for i := 0; i < 40; i++ {
+		edges = append(edges, packet.Edge{Src: uint32(i), Dst: uint32(i + 1)})
+	}
+	batches := PartitionEdges(edges, 4, 8)
+	n := 0
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > 8 {
+			t.Fatalf("batch size %d", len(b))
+		}
+		p := b[0].Src % 4
+		for _, e := range b {
+			if e.Src%4 != p {
+				t.Fatal("mixed partitions")
+			}
+			n++
+		}
+	}
+	if n != 40 {
+		t.Errorf("covered %d", n)
+	}
+}
+
+func TestGroupCommADCPFanOut(t *testing.T) {
+	gc := GroupConfig{Members: map[uint32][]int{7: {1, 3, 6}}}
+	sw, err := NewGroupCommADCP(smallADCP(), gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := packet.Build(packet.Header{Proto: packet.ProtoGroup, SrcPort: 0, CoflowID: 14},
+		&packet.GroupHeader{GroupID: 7, Chunk: 0, Total: 1, Payload: []byte("data")})
+	chunk.IngressPort = 0
+	outs, err := sw.Process(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("fan-out = %d, want 3", len(outs))
+	}
+	ports := map[int]bool{}
+	for _, o := range outs {
+		ports[o.EgressPort] = true
+	}
+	for _, want := range []int{1, 3, 6} {
+		if !ports[want] {
+			t.Errorf("member port %d missing", want)
+		}
+	}
+	// Unknown group drops.
+	bad := packet.Build(packet.Header{Proto: packet.ProtoGroup, CoflowID: 14},
+		&packet.GroupHeader{GroupID: 99, Payload: []byte("x")})
+	bad.IngressPort = 0
+	outs, err = sw.Process(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Error("unknown group delivered")
+	}
+}
+
+func TestGroupCommRMTFanOut(t *testing.T) {
+	gc := GroupConfig{Members: map[uint32][]int{3: {0, 2, 5, 7}}}
+	sw, err := NewGroupCommRMT(smallRMT(), gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := packet.Build(packet.Header{Proto: packet.ProtoGroup, SrcPort: 1, CoflowID: 15},
+		&packet.GroupHeader{GroupID: 3, Chunk: 0, Total: 1, Payload: []byte("y")})
+	chunk.IngressPort = 1
+	outs, err := sw.Process(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("fan-out = %d, want 4", len(outs))
+	}
+}
+
+func TestGroupCommValidation(t *testing.T) {
+	if _, err := NewGroupCommADCP(smallADCP(), GroupConfig{}); err == nil {
+		t.Error("no groups accepted")
+	}
+	if _, err := NewGroupCommRMT(smallRMT(), GroupConfig{Members: map[uint32][]int{1: {}}}); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestGroupCommHeterogeneousNICs(t *testing.T) {
+	// Table 1's group row: the switch drives the transfer "even if some
+	// of the servers have different NIC capabilities" — the slow member
+	// finishes later but completely.
+	gc := GroupConfig{Members: map[uint32][]int{1: {2, 3}}}
+	sw, err := NewGroupCommADCP(smallADCP(), gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCfg := DefaultNetHetero(8, map[int]float64{3: 1}) // host 3 at 1 Gbps
+	res, err := RunGroupComm(sw, netCfg, GroupRun{CoflowID: 14, GroupID: 1, Source: 0, Chunks: 10, ChunkLen: 1000, Members: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Network.Host(2).Received) != 10 || len(res.Network.Host(3).Received) != 10 {
+		t.Fatalf("members received %d/%d, want 10/10",
+			len(res.Network.Host(2).Received), len(res.Network.Host(3).Received))
+	}
+	// The slow member's RX completes last; CCT reflects it.
+	if res.CCT <= 0 {
+		t.Errorf("CCT = %v", res.CCT)
+	}
+	_ = sim.Time(0)
+}

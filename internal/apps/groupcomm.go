@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/packet"
+	"repro/internal/pipeline"
+	"repro/internal/rmt"
+)
+
+// GroupConfig describes switch-managed communication groups (Table 1,
+// group communications row): the switch replicates a source's chunk stream
+// to every member, even when members have different NIC speeds (the
+// per-member pacing happens in the TM/egress buffering).
+type GroupConfig struct {
+	// Members maps group id → member ports.
+	Members map[uint32][]int
+}
+
+// Validate checks the configuration.
+func (c GroupConfig) Validate() error {
+	if len(c.Members) == 0 {
+		return fmt.Errorf("apps: no groups")
+	}
+	for id, m := range c.Members {
+		if len(m) == 0 {
+			return fmt.Errorf("apps: group %d empty", id)
+		}
+	}
+	return nil
+}
+
+// sortedGroups returns group ids in stable order (for deterministic table
+// installs).
+func (c GroupConfig) sortedGroups() []uint32 {
+	ids := make([]uint32, 0, len(c.Members))
+	for id := range c.Members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// groupProgram builds the replication stage: look the group up in the
+// stage table (hit proves membership is installed), then multicast to the
+// members captured in cfg.
+func groupProgram(cfg GroupConfig) *pipeline.Program {
+	return &pipeline.Program{
+		Name: "groupcomm",
+		Funcs: []pipeline.StageFunc{
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				if ctx.Decoded.Base.Proto != packet.ProtoGroup {
+					return nil
+				}
+				id := ctx.Decoded.Group.GroupID
+				if _, ok := st.Mem.Lookup(uint64(id)); !ok {
+					ctx.Verdict = pipeline.VerdictDrop
+					return nil
+				}
+				st.Regs.Execute(mat.RegAdd, 0, 1) // replicated-chunk counter
+				ctx.Multicast = append([]int(nil), cfg.Members[id]...)
+				return nil
+			},
+		},
+	}
+}
+
+// installGroups loads every group id into a stage's table.
+func installGroups(mem *mat.StageMemory, cfg GroupConfig) error {
+	for _, id := range cfg.sortedGroups() {
+		if err := mem.Install(uint64(id), mat.Result{ActionID: 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewGroupCommADCP builds the ADCP deployment: replication happens in the
+// global area, so member sets may span any egress ports; TM2's shared
+// buffer absorbs the fan-out toward slow members.
+func NewGroupCommADCP(cfg core.Config, gc GroupConfig) (*core.Switch, error) {
+	if err := gc.Validate(); err != nil {
+		return nil, err
+	}
+	sw, err := core.New(cfg, core.Programs{Central: groupProgram(gc)})
+	if err != nil {
+		return nil, err
+	}
+	P := cfg.CentralPipelines
+	sw.SetPartition(func(ctx *pipeline.Context) int {
+		if ctx.Decoded.Base.Proto == packet.ProtoGroup {
+			return int(ctx.Decoded.Group.GroupID) % P
+		}
+		return int(ctx.Decoded.Base.CoflowID) % P
+	})
+	for p := 0; p < P; p++ {
+		if err := installGroups(sw.Central(p).Stage(0).Mem, gc); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+// NewGroupCommRMT builds the RMT deployment: replication at ingress, group
+// table installed in every ingress pipeline (sources may connect
+// anywhere).
+func NewGroupCommRMT(cfg rmt.Config, gc GroupConfig) (*rmt.Switch, error) {
+	if err := gc.Validate(); err != nil {
+		return nil, err
+	}
+	sw, err := rmt.New(cfg, groupProgram(gc), nil)
+	if err != nil {
+		return nil, err
+	}
+	for pl := 0; pl < cfg.Pipelines; pl++ {
+		if err := installGroups(sw.Ingress(pl).Stage(0).Mem, gc); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}

@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/packet"
+	"repro/internal/pipeline"
+	"repro/internal/rmt"
+)
+
+// This file implements the coordination row of Table 1 (NetLock-style
+// in-network lock management, cited in §1): clients acquire and release
+// locks with single round trips to the switch, which arbitrates them in
+// register state using compare-and-swap.
+//
+// Locks are the cleanest illustration of limitation ①: a lock must be
+// visible to EVERY client port, so on RMT its cell can live in only one
+// pipeline and clients attached elsewhere pay the recirculation toll on
+// every operation. On ADCP the lock lives in the global partitioned area,
+// equidistant from all ports.
+
+// LockConfig sizes the lock table.
+type LockConfig struct {
+	// Locks is the number of lock cells (lock ids in [0, Locks)).
+	Locks int
+}
+
+// Validate checks the configuration.
+func (c LockConfig) Validate() error {
+	if c.Locks <= 0 {
+		return fmt.Errorf("apps: %d locks", c.Locks)
+	}
+	return nil
+}
+
+// lockStage arbitrates one request against the stage's register file.
+// Cell layout: cell i holds the holder's client id + 1 (0 = free).
+func lockStage(st *pipeline.Stage, ctx *pipeline.Context, cellOf func(lockID uint32) int) error {
+	kvh := &ctx.Decoded.KV
+	if len(kvh.Pairs) != 1 {
+		return fmt.Errorf("apps: lock packets carry exactly one pair, got %d", len(kvh.Pairs))
+	}
+	lockID := kvh.Pairs[0].Key
+	client := kvh.Pairs[0].Value
+	cell := cellOf(lockID)
+	switch kvh.Op {
+	case packet.KVLock:
+		old, err := st.RegisterRMW(mat.RegCAS, cell, uint64(client)+1)
+		if err != nil {
+			return err
+		}
+		switch {
+		case old == 0: // acquired
+			kvh.Op = packet.KVGrant
+		case old == uint64(client)+1: // re-entrant: already the holder
+			kvh.Op = packet.KVGrant
+		default:
+			kvh.Op = packet.KVDeny
+			kvh.Pairs[0].Value = uint32(old - 1) // report the holder
+		}
+	case packet.KVUnlock:
+		// Release only when held by the requester (read, compare, write —
+		// the one-RMW constraint allows the write; the read piggybacks on
+		// a second ALU of the stage).
+		cur := st.Regs.Peek(cell)
+		if cur == uint64(client)+1 {
+			if _, err := st.RegisterRMW(mat.RegWrite, cell, 0); err != nil {
+				return err
+			}
+			kvh.Op = packet.KVGrant
+		} else {
+			kvh.Op = packet.KVDeny
+			if cur > 0 {
+				kvh.Pairs[0].Value = uint32(cur - 1)
+			}
+		}
+	default:
+		return nil
+	}
+	ctx.Modified = true
+	ctx.Egress = int(ctx.Decoded.Base.SrcPort) // reply to the client
+	return nil
+}
+
+// isLockOp reports whether the packet is a lock request.
+func isLockOp(d *packet.Decoded) bool {
+	return d.Base.Proto == packet.ProtoKV &&
+		(d.KV.Op == packet.KVLock || d.KV.Op == packet.KVUnlock)
+}
+
+// NewNetLockADCP builds the ADCP lock manager: locks hash-partition across
+// the global area, so every client port is one TM crossing away from every
+// lock.
+func NewNetLockADCP(cfg core.Config, lc LockConfig) (*core.Switch, error) {
+	if err := lc.Validate(); err != nil {
+		return nil, err
+	}
+	P := cfg.CentralPipelines
+	if lc.Locks/P+1 > cfg.Pipe.RegisterCellsPerStage {
+		return nil, fmt.Errorf("apps: %d locks exceed register cells", lc.Locks)
+	}
+	central := &pipeline.Program{
+		Name: "netlock-central",
+		Funcs: []pipeline.StageFunc{
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				if !isLockOp(&ctx.Decoded) {
+					return nil
+				}
+				return lockStage(st, ctx, func(id uint32) int { return int(id) / P })
+			},
+		},
+	}
+	sw, err := core.New(cfg, core.Programs{Central: central})
+	if err != nil {
+		return nil, err
+	}
+	sw.SetPartition(func(ctx *pipeline.Context) int {
+		if isLockOp(&ctx.Decoded) && len(ctx.Decoded.KV.Pairs) > 0 {
+			return int(ctx.Decoded.KV.Pairs[0].Key) % P
+		}
+		return int(ctx.Decoded.Base.CoflowID) % P
+	})
+	return sw, nil
+}
+
+// NewNetLockRMT builds the RMT lock manager: ALL lock state lives in the
+// last ingress pipeline (a lock cannot be replicated — it is mutable), so
+// requests from clients on other pipelines loop through the recirculation
+// port on every operation.
+func NewNetLockRMT(cfg rmt.Config, lc LockConfig) (*rmt.Switch, error) {
+	if err := lc.Validate(); err != nil {
+		return nil, err
+	}
+	if lc.Locks > cfg.Pipe.RegisterCellsPerStage {
+		return nil, fmt.Errorf("apps: %d locks exceed register cells", lc.Locks)
+	}
+	ppp := cfg.Ports / cfg.Pipelines
+	loopback := cfg.Ports - 1
+	lockPipe := loopback / ppp
+	ingress := &pipeline.Program{
+		Name: "netlock-rmt",
+		Funcs: []pipeline.StageFunc{
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				if !isLockOp(&ctx.Decoded) {
+					return nil
+				}
+				if ctx.Pkt.IngressPort/ppp != lockPipe {
+					ctx.Egress = loopback // pay the toll
+					return nil
+				}
+				return lockStage(st, ctx, func(id uint32) int { return int(id) })
+			},
+		},
+	}
+	sw, err := rmt.New(cfg, ingress, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.MarkRecirculationPort(loopback); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// LockRequest builds an acquire/release packet.
+func LockRequest(op packet.KVOp, lockID, client uint32, srcPort int) *packet.Packet {
+	p := packet.Build(packet.Header{
+		Proto:    packet.ProtoKV,
+		SrcPort:  uint16(srcPort),
+		CoflowID: 0x10c0, // constant tag; tracker-friendly
+	}, &packet.KVHeader{Op: op, Pairs: []packet.KVPair{{Key: lockID, Value: client}}})
+	p.IngressPort = srcPort
+	return p
+}

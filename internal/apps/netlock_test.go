@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func lockOp(t *testing.T, sw interface {
+	Process(*packet.Packet) ([]*packet.Packet, error)
+}, op packet.KVOp, lockID, client uint32, srcPort int) packet.KVOp {
+	t.Helper()
+	out, err := sw.Process(LockRequest(op, lockID, client, srcPort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("lock op delivered %d replies", len(out))
+	}
+	if out[0].EgressPort != srcPort {
+		t.Fatalf("reply to port %d, want %d", out[0].EgressPort, srcPort)
+	}
+	var d packet.Decoded
+	if err := d.DecodePacket(out[0]); err != nil {
+		t.Fatal(err)
+	}
+	return d.KV.Op
+}
+
+func TestNetLockADCPSemantics(t *testing.T) {
+	sw, err := NewNetLockADCP(smallADCP(), LockConfig{Locks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 acquires lock 7.
+	if got := lockOp(t, sw, packet.KVLock, 7, 1, 1); got != packet.KVGrant {
+		t.Fatalf("first acquire = %v", got)
+	}
+	// Client 2 is denied; reply names the holder.
+	out, err := sw.Process(LockRequest(packet.KVLock, 7, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d packet.Decoded
+	d.DecodePacket(out[0])
+	if d.KV.Op != packet.KVDeny || d.KV.Pairs[0].Value != 1 {
+		t.Fatalf("contended acquire = %+v", d.KV)
+	}
+	// Re-entrant acquire by the holder is granted.
+	if got := lockOp(t, sw, packet.KVLock, 7, 1, 1); got != packet.KVGrant {
+		t.Fatalf("re-entrant acquire = %v", got)
+	}
+	// Wrong client cannot release.
+	if got := lockOp(t, sw, packet.KVUnlock, 7, 2, 2); got != packet.KVDeny {
+		t.Fatalf("foreign release = %v", got)
+	}
+	// Holder releases; then client 2 acquires.
+	if got := lockOp(t, sw, packet.KVUnlock, 7, 1, 1); got != packet.KVGrant {
+		t.Fatalf("release = %v", got)
+	}
+	if got := lockOp(t, sw, packet.KVLock, 7, 2, 2); got != packet.KVGrant {
+		t.Fatalf("acquire after release = %v", got)
+	}
+	// Independent lock unaffected.
+	if got := lockOp(t, sw, packet.KVLock, 8, 3, 3); got != packet.KVGrant {
+		t.Fatalf("independent lock = %v", got)
+	}
+	// Releasing a free lock is denied.
+	if got := lockOp(t, sw, packet.KVUnlock, 20, 1, 1); got != packet.KVDeny {
+		t.Fatalf("free release = %v", got)
+	}
+}
+
+func TestNetLockRMTPaysRecirculationToll(t *testing.T) {
+	cfg := smallRMT() // 8 ports / 2 pipelines; lock pipeline = 1, loopback 7
+	sw, err := NewNetLockRMT(cfg, LockConfig{Locks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client on port 0 (pipeline 0): every op loops once.
+	if got := lockOp(t, sw, packet.KVLock, 3, 1, 0); got != packet.KVGrant {
+		t.Fatalf("acquire = %v", got)
+	}
+	if sw.RecirculationTraversals() != 1 {
+		t.Errorf("recirc = %d, want 1", sw.RecirculationTraversals())
+	}
+	// Client on port 5 (pipeline 1): no toll.
+	if got := lockOp(t, sw, packet.KVLock, 4, 2, 5); got != packet.KVGrant {
+		t.Fatalf("local acquire = %v", got)
+	}
+	if sw.RecirculationTraversals() != 1 {
+		t.Errorf("local op paid the toll: %d", sw.RecirculationTraversals())
+	}
+	// Semantics identical to ADCP: contention denied.
+	out, err := sw.Process(LockRequest(packet.KVLock, 3, 9, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d packet.Decoded
+	d.DecodePacket(out[0])
+	if d.KV.Op != packet.KVDeny || d.KV.Pairs[0].Value != 1 {
+		t.Fatalf("contended = %+v", d.KV)
+	}
+}
+
+func TestNetLockValidation(t *testing.T) {
+	if _, err := NewNetLockADCP(smallADCP(), LockConfig{}); err == nil {
+		t.Error("zero locks accepted")
+	}
+	if _, err := NewNetLockADCP(smallADCP(), LockConfig{Locks: 1 << 20}); err == nil {
+		t.Error("lock table beyond registers accepted")
+	}
+	if _, err := NewNetLockRMT(smallRMT(), LockConfig{Locks: 1 << 20}); err == nil {
+		t.Error("lock table beyond registers accepted (RMT)")
+	}
+}
+
+func TestNetLockMutualExclusionSoak(t *testing.T) {
+	// Many clients hammer a few locks; at all times each lock has at most
+	// one holder, and grants/denies are consistent with a shadow model.
+	sw, err := NewNetLockADCP(smallADCP(), LockConfig{Locks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(33)
+	shadow := map[uint32]uint32{} // lock → holder+1
+	for i := 0; i < 2000; i++ {
+		lock := uint32(rng.Intn(8))
+		client := uint32(rng.Intn(5)) + 1
+		src := int(client) % 8
+		var op packet.KVOp
+		if rng.Intn(2) == 0 {
+			op = packet.KVLock
+		} else {
+			op = packet.KVUnlock
+		}
+		got := lockOp(t, sw, op, lock, client, src)
+		switch op {
+		case packet.KVLock:
+			if shadow[lock] == 0 || shadow[lock] == client+1 {
+				if got != packet.KVGrant {
+					t.Fatalf("op %d: acquire should grant", i)
+				}
+				shadow[lock] = client + 1
+			} else if got != packet.KVDeny {
+				t.Fatalf("op %d: acquire should deny (held by %d)", i, shadow[lock]-1)
+			}
+		case packet.KVUnlock:
+			if shadow[lock] == client+1 {
+				if got != packet.KVGrant {
+					t.Fatalf("op %d: release should grant", i)
+				}
+				shadow[lock] = 0
+			} else if got != packet.KVDeny {
+				t.Fatalf("op %d: release should deny", i)
+			}
+		}
+	}
+}
+
+func BenchmarkNetLockAcquireRelease(b *testing.B) {
+	sw, err := NewNetLockADCP(smallADCP(), LockConfig{Locks: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lock := uint32(i % 64)
+		if _, err := sw.Process(LockRequest(packet.KVLock, lock, 1, 1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sw.Process(LockRequest(packet.KVUnlock, lock, 1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestParamServerRMTEgressAggregatesButPinsOutput(t *testing.T) {
+	cfg := smallRMT() // 8 ports, 2 pipelines, 6 stages
+	ps := PSConfig{Workers: 6, ModelSize: 20, Width: 5}
+	sw, err := NewParamServerRMTEgress(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs, err := workload.ML(workload.MLParams{
+		CoflowID: 31, Workers: ps.Workers, ModelSize: ps.ModelSize,
+		ValuesPerPacket: ps.Width, Gap: 100 * sim.Nanosecond, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(netsim.DefaultConfig(8), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range injs {
+		n.SendAt(inj.Src, inj.Pkt, inj.At)
+	}
+	n.Run()
+
+	// Zero recirculation — that is this variant's advantage.
+	if sw.RecirculationTraversals() != 0 {
+		t.Errorf("egress variant recirculated %d times", sw.RecirculationTraversals())
+	}
+	// But results reach ONLY the anchor port (7): workers 0..5 on other
+	// ports receive nothing — the Figure 2 pinning.
+	anchor := 7
+	chunks := ps.ModelSize / ps.Width
+	if got := int(sw.TxOnPort(anchor)); got != chunks {
+		t.Errorf("anchor received %d results, want %d", got, chunks)
+	}
+	for w := 0; w < ps.Workers; w++ {
+		if len(n.Host(w).Received) != 0 {
+			t.Errorf("worker %d received %d packets — egress pinning violated", w, len(n.Host(w).Received))
+		}
+	}
+	// The aggregated values on the anchor are correct.
+	got := make(map[int]uint32)
+	var d packet.Decoded
+	for _, p := range n.Host(anchor).Received {
+		if err := d.DecodePacket(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range d.ML.Values {
+			got[int(d.ML.Base)+i] = v
+		}
+	}
+	if len(got) != ps.ModelSize {
+		t.Fatalf("anchor holds %d of %d weights", len(got), ps.ModelSize)
+	}
+	for idx, v := range got {
+		if want := workload.MLExpectedSum(13, ps.Workers, idx); v != want {
+			t.Errorf("weight %d = %d, want %d", idx, v, want)
+		}
+	}
+	// And the computation used only the egress stages: ingress state
+	// untouched (registers all zero).
+	for pl := 0; pl < cfg.Pipelines; pl++ {
+		for s := 0; s < cfg.Pipe.Stages; s++ {
+			if sw.Ingress(pl).Stage(s).Regs.Peek(0) != 0 {
+				t.Errorf("ingress pipeline %d stage %d holds state", pl, s)
+			}
+		}
+	}
+}
+
+func TestParamServerRMTEgressRejectsWidePackets(t *testing.T) {
+	// 6 stages → 5 usable; egress cannot recirculate, so width 16 is a
+	// hard build error (unlike the ingress variant, which recirculates).
+	ps := PSConfig{Workers: 2, ModelSize: 16, Width: 16}
+	if _, err := NewParamServerRMTEgress(smallRMT(), ps); err == nil {
+		t.Fatal("width beyond egress stage budget accepted")
+	}
+}
+
+func TestReachableWorkersEgress(t *testing.T) {
+	cfg := smallRMT() // 8 ports / 2 pipelines: anchor pipeline serves 4..7
+	got := ReachableWorkersEgress(cfg, PSConfig{Workers: 6, ModelSize: 4, Width: 1})
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("reachable = %v, want [4 5]", got)
+	}
+	// A 1-pipeline switch reaches everyone (degenerate case).
+	cfg.Pipelines = 1
+	all := ReachableWorkersEgress(cfg, PSConfig{Workers: 6, ModelSize: 4, Width: 1})
+	if len(all) != 6 {
+		t.Errorf("single pipeline reachable = %v", all)
+	}
+}

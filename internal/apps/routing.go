@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/pipeline"
+	"repro/internal/rmt"
+)
+
+// This file implements the paper's §1 example of what RMT is GOOD at: a
+// traffic-aware, flowlet-pinning load balancer (HULA-style) — a
+// traditional networking function whose state is strictly per-flow.
+// Per-flow work needs no coflow convergence, no arrays, and no global
+// area, so it runs equally well on both architectures; the experiments use
+// it as the control case against the coflow applications.
+
+// LBConfig sizes the load balancer.
+type LBConfig struct {
+	// Uplinks are the candidate output ports.
+	Uplinks []int
+	// FlowTableCells is the flowlet-pinning register size.
+	FlowTableCells int
+}
+
+// Validate checks the configuration.
+func (c LBConfig) Validate() error {
+	if len(c.Uplinks) < 2 {
+		return fmt.Errorf("apps: load balancer needs ≥2 uplinks")
+	}
+	if c.FlowTableCells <= 0 {
+		return fmt.Errorf("apps: flow table %d cells", c.FlowTableCells)
+	}
+	return nil
+}
+
+// lbProgram builds the two-stage program:
+//
+//	stage 0: flowlet pinning — CAS the flow's cell with (chosen path + 1);
+//	         an existing pin wins (flow stickiness).
+//	stage 1: per-uplink load accounting (wire bytes).
+//
+// The path choice for new flows is round-robin over uplinks via a counter
+// cell, a stand-in for HULA's utilization-driven choice that keeps the
+// program deterministic for tests.
+func lbProgram(cfg LBConfig) *pipeline.Program {
+	n := uint64(len(cfg.Uplinks))
+	return &pipeline.Program{
+		Name: "flowlet-lb",
+		Funcs: []pipeline.StageFunc{
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				flow := mat.HashKey(uint64(ctx.Decoded.Base.CoflowID)<<32 | uint64(ctx.Decoded.Base.FlowID))
+				cell := int(flow % uint64(cfg.FlowTableCells))
+				// Next-path counter lives in the last cell; CAS pins.
+				rr := st.Regs.Execute(mat.RegAdd, cfg.FlowTableCells, 1)
+				candidate := (rr - 1) % n
+				old, err := st.RegisterRMW(mat.RegCAS, cell, candidate+1)
+				if err != nil {
+					return err
+				}
+				pick := candidate
+				if old != 0 {
+					pick = old - 1 // existing pin wins
+					// Undo the round-robin advance so unpinned flows
+					// still spread evenly.
+					st.Regs.Execute(mat.RegAdd, cfg.FlowTableCells, ^uint64(0))
+				}
+				ctx.Egress = cfg.Uplinks[pick]
+				return nil
+			},
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				// Per-uplink byte counters (cells 0..len-1).
+				for i, up := range cfg.Uplinks {
+					if ctx.Egress == up {
+						if _, err := st.RegisterRMW(mat.RegAdd, i, uint64(ctx.Pkt.WireLen())); err != nil {
+							return err
+						}
+						break
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// FlowletLBRMT is the load balancer on an RMT switch: state in every
+// ingress pipeline, which is FINE here — a flow always arrives on the same
+// port, so its state never needs to move (the per-flow world RMT was
+// designed for).
+type FlowletLBRMT struct {
+	*rmt.Switch
+	cfg LBConfig
+}
+
+// NewFlowletLBRMT builds the RMT deployment.
+func NewFlowletLBRMT(cfg rmt.Config, lb LBConfig) (*FlowletLBRMT, error) {
+	if err := lb.Validate(); err != nil {
+		return nil, err
+	}
+	if lb.FlowTableCells+1 > cfg.Pipe.RegisterCellsPerStage {
+		return nil, fmt.Errorf("apps: flow table exceeds register cells")
+	}
+	sw, err := rmt.New(cfg, lbProgram(lb), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowletLBRMT{Switch: sw, cfg: lb}, nil
+}
+
+// UplinkBytes returns the load counter of uplink i summed over pipelines.
+func (f *FlowletLBRMT) UplinkBytes(i int) uint64 {
+	var n uint64
+	for pl := 0; pl < f.Config().Pipelines; pl++ {
+		n += f.Ingress(pl).Stage(1).Regs.Peek(i)
+	}
+	return n
+}
+
+// FlowletLBADCP is the same program in the ADCP global area (partitioned
+// by flow hash). It works identically — the point is that ADCP keeps
+// RMT's strengths for per-flow protocols.
+type FlowletLBADCP struct {
+	*core.Switch
+	cfg LBConfig
+}
+
+// NewFlowletLBADCP builds the ADCP deployment.
+func NewFlowletLBADCP(cfg core.Config, lb LBConfig) (*FlowletLBADCP, error) {
+	if err := lb.Validate(); err != nil {
+		return nil, err
+	}
+	if lb.FlowTableCells+1 > cfg.Pipe.RegisterCellsPerStage {
+		return nil, fmt.Errorf("apps: flow table exceeds register cells")
+	}
+	sw, err := core.New(cfg, core.Programs{Central: lbProgram(lb)})
+	if err != nil {
+		return nil, err
+	}
+	P := cfg.CentralPipelines
+	sw.SetPartition(func(ctx *pipeline.Context) int {
+		flow := mat.HashKey(uint64(ctx.Decoded.Base.CoflowID)<<32 | uint64(ctx.Decoded.Base.FlowID))
+		return int(flow % uint64(P))
+	})
+	return &FlowletLBADCP{Switch: sw, cfg: lb}, nil
+}
+
+// UplinkBytes returns the load counter of uplink i summed over central
+// pipelines.
+func (f *FlowletLBADCP) UplinkBytes(i int) uint64 {
+	var n uint64
+	for p := 0; p < f.Config().CentralPipelines; p++ {
+		n += f.Central(p).Stage(1).Regs.Peek(i)
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func lbPkt(flow uint32, src int, payload int) *packet.Packet {
+	p := packet.BuildRaw(packet.Header{DstPort: 0, SrcPort: uint16(src), CoflowID: 100, FlowID: flow}, payload)
+	p.IngressPort = src
+	return p
+}
+
+func TestFlowletLBRMTStickiness(t *testing.T) {
+	lb := LBConfig{Uplinks: []int{4, 5, 6, 7}, FlowTableCells: 512}
+	sw, err := NewFlowletLBRMT(smallRMT(), lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each flow's packets must all take one uplink.
+	pinned := map[uint32]int{}
+	for round := 0; round < 5; round++ {
+		for flow := uint32(0); flow < 16; flow++ {
+			out, err := sw.Process(lbPkt(flow, int(flow)%4, 100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 1 {
+				t.Fatalf("flow %d delivered %d", flow, len(out))
+			}
+			up := out[0].EgressPort
+			if prev, ok := pinned[flow]; ok && prev != up {
+				t.Fatalf("flow %d moved from uplink %d to %d", flow, prev, up)
+			}
+			pinned[flow] = up
+		}
+	}
+	// Flows spread across multiple uplinks.
+	used := map[int]bool{}
+	for _, up := range pinned {
+		used[up] = true
+	}
+	if len(used) < 3 {
+		t.Errorf("flows used only %d uplinks: %v", len(used), pinned)
+	}
+	// Load accounting: total bytes across uplinks = packets × wirelen.
+	var total uint64
+	for i := range lb.Uplinks {
+		total += sw.UplinkBytes(i)
+	}
+	if total != uint64(5*16*120) {
+		t.Errorf("uplink bytes = %d, want %d", total, 5*16*120)
+	}
+}
+
+func TestFlowletLBADCPMatchesRMTBehavior(t *testing.T) {
+	lb := LBConfig{Uplinks: []int{4, 5}, FlowTableCells: 256}
+	sw, err := NewFlowletLBADCP(smallADCP(), lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := map[uint32]int{}
+	for round := 0; round < 3; round++ {
+		for flow := uint32(0); flow < 12; flow++ {
+			out, err := sw.Process(lbPkt(flow, int(flow)%8, 50))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 1 {
+				t.Fatalf("delivered %d", len(out))
+			}
+			up := out[0].EgressPort
+			if prev, ok := pinned[flow]; ok && prev != up {
+				t.Fatalf("flow %d moved uplinks", flow)
+			}
+			pinned[flow] = up
+		}
+	}
+	used := map[int]bool{}
+	for _, up := range pinned {
+		used[up] = true
+	}
+	if len(used) != 2 {
+		t.Errorf("uplinks used: %v", used)
+	}
+	var total uint64
+	for i := range lb.Uplinks {
+		total += sw.UplinkBytes(i)
+	}
+	if total == 0 {
+		t.Error("no load accounted")
+	}
+}
+
+func TestFlowletLBValidation(t *testing.T) {
+	if _, err := NewFlowletLBRMT(smallRMT(), LBConfig{Uplinks: []int{1}}); err == nil {
+		t.Error("single uplink accepted")
+	}
+	if _, err := NewFlowletLBRMT(smallRMT(), LBConfig{Uplinks: []int{1, 2}, FlowTableCells: 1 << 20}); err == nil {
+		t.Error("oversized flow table accepted")
+	}
+	if _, err := NewFlowletLBADCP(smallADCP(), LBConfig{Uplinks: []int{1, 2}}); err == nil {
+		t.Error("zero flow table accepted")
+	}
+}
+
+func TestFlowletLBNoRecirculationNeeded(t *testing.T) {
+	// The control case: per-flow work costs RMT nothing — zero
+	// recirculation, unlike the coflow apps.
+	lb := LBConfig{Uplinks: []int{4, 5}, FlowTableCells: 64}
+	sw, err := NewFlowletLBRMT(smallRMT(), lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := sw.Process(lbPkt(uint32(i%8), i%8, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.RecirculationTraversals() != 0 {
+		t.Errorf("per-flow app recirculated %d times", sw.RecirculationTraversals())
+	}
+	if sw.IngressOverheadFraction() != 0 {
+		t.Errorf("overhead = %v", sw.IngressOverheadFraction())
+	}
+}

@@ -1,0 +1,213 @@
+// Package coflow implements the coflow abstraction (Chowdhury & Stoica,
+// HotNets '12) that the paper builds its argument on: a set of flows
+// between interconnected servers that share application semantics, where
+// the collective — not any individual flow — is the unit the application
+// cares about. The package provides coflow descriptions, a generator for
+// the communication patterns of the paper's Table 1, and a completion
+// tracker with conservation accounting.
+package coflow
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FlowSpec describes one member flow of a coflow.
+type FlowSpec struct {
+	FlowID  uint32
+	SrcHost int // sending host (attached to switch port of same index)
+	DstHost int // receiving host; -1 when the switch computes the result
+	Packets int
+	Bytes   int // application bytes carried by the flow
+}
+
+// Coflow is a named set of flows plus the output scheme the application
+// expects (which ports the result coflow targets).
+type Coflow struct {
+	ID    uint32
+	Flows []FlowSpec
+	// OutputHosts lists the hosts that must receive result data for the
+	// coflow to complete (e.g. all workers for an all-reduce).
+	OutputHosts []int
+}
+
+// Width returns the number of member flows.
+func (c *Coflow) Width() int { return len(c.Flows) }
+
+// TotalBytes returns the input bytes across member flows.
+func (c *Coflow) TotalBytes() int {
+	n := 0
+	for _, f := range c.Flows {
+		n += f.Bytes
+	}
+	return n
+}
+
+// TotalPackets returns the input packets across member flows.
+func (c *Coflow) TotalPackets() int {
+	n := 0
+	for _, f := range c.Flows {
+		n += f.Packets
+	}
+	return n
+}
+
+// SourceHosts returns the distinct sending hosts in flow order.
+func (c *Coflow) SourceHosts() []int {
+	seen := make(map[int]bool)
+	var hosts []int
+	for _, f := range c.Flows {
+		if !seen[f.SrcHost] {
+			seen[f.SrcHost] = true
+			hosts = append(hosts, f.SrcHost)
+		}
+	}
+	return hosts
+}
+
+// AllToAll builds the ML-training pattern of Table 1: n workers each
+// contribute one flow of packets×bytes toward a switch-side aggregation
+// whose result every worker must receive.
+func AllToAll(id uint32, workers, packetsPerFlow, bytesPerFlow int) *Coflow {
+	c := &Coflow{ID: id}
+	for w := 0; w < workers; w++ {
+		c.Flows = append(c.Flows, FlowSpec{
+			FlowID:  uint32(w),
+			SrcHost: w,
+			DstHost: -1,
+			Packets: packetsPerFlow,
+			Bytes:   bytesPerFlow,
+		})
+		c.OutputHosts = append(c.OutputHosts, w)
+	}
+	return c
+}
+
+// Shuffle builds the DB-analytics pattern: each of n sources sends a flow
+// that is reshuffled so each of m destinations receives a partition.
+func Shuffle(id uint32, sources, dests, packetsPerFlow, bytesPerFlow int) *Coflow {
+	c := &Coflow{ID: id}
+	for s := 0; s < sources; s++ {
+		c.Flows = append(c.Flows, FlowSpec{
+			FlowID:  uint32(s),
+			SrcHost: s,
+			DstHost: -1, // destination decided per tuple by partitioning
+			Packets: packetsPerFlow,
+			Bytes:   bytesPerFlow,
+		})
+	}
+	for d := 0; d < dests; d++ {
+		c.OutputHosts = append(c.OutputHosts, sources+d)
+	}
+	return c
+}
+
+// Broadcast builds the group-communication pattern: one source, a group of
+// receivers, driven by switch-side replication.
+func Broadcast(id uint32, src int, receivers []int, packets, bytes int) *Coflow {
+	c := &Coflow{ID: id, OutputHosts: append([]int(nil), receivers...)}
+	c.Flows = append(c.Flows, FlowSpec{FlowID: 0, SrcHost: src, DstHost: -1, Packets: packets, Bytes: bytes})
+	return c
+}
+
+// Status is a coflow's completion state in the Tracker.
+type Status struct {
+	FirstSend    sim.Time
+	LastDeliver  sim.Time
+	SentPkts     int
+	SentBytes    uint64
+	DeliverPkts  int
+	DeliverBytes uint64
+	DroppedPkts  int
+	// ExpectedDeliveries: completion is declared when DeliverPkts reaches
+	// this (set by Expect); 0 means "unknown, never complete".
+	ExpectedDeliveries int
+	Done               bool
+}
+
+// CCT returns the coflow completion time, valid once Done.
+func (s *Status) CCT() sim.Time { return s.LastDeliver - s.FirstSend }
+
+// Tracker records send/deliver/drop events per coflow and computes
+// completion times.
+type Tracker struct {
+	coflows map[uint32]*Status
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{coflows: make(map[uint32]*Status)}
+}
+
+func (t *Tracker) get(id uint32) *Status {
+	s := t.coflows[id]
+	if s == nil {
+		s = &Status{FirstSend: sim.Forever}
+		t.coflows[id] = s
+	}
+	return s
+}
+
+// Expect declares how many packet deliveries complete the coflow.
+func (t *Tracker) Expect(id uint32, deliveries int) {
+	t.get(id).ExpectedDeliveries = deliveries
+}
+
+// Send records a packet entering the network at time now.
+func (t *Tracker) Send(id uint32, now sim.Time, bytes int) {
+	s := t.get(id)
+	if now < s.FirstSend {
+		s.FirstSend = now
+	}
+	s.SentPkts++
+	s.SentBytes += uint64(bytes)
+}
+
+// Deliver records a packet arriving at its destination host.
+func (t *Tracker) Deliver(id uint32, now sim.Time, bytes int) {
+	s := t.get(id)
+	s.DeliverPkts++
+	s.DeliverBytes += uint64(bytes)
+	if now > s.LastDeliver {
+		s.LastDeliver = now
+	}
+	if s.ExpectedDeliveries > 0 && s.DeliverPkts >= s.ExpectedDeliveries {
+		s.Done = true
+	}
+}
+
+// Drop records a packet lost in the switch.
+func (t *Tracker) Drop(id uint32) { t.get(id).DroppedPkts++ }
+
+// Status returns the tracked state of a coflow (nil if never seen).
+func (t *Tracker) Status(id uint32) *Status { return t.coflows[id] }
+
+// Done reports whether the coflow has completed.
+func (t *Tracker) Done(id uint32) bool {
+	s := t.coflows[id]
+	return s != nil && s.Done
+}
+
+// CheckConservation verifies that no tracked coflow delivered more packets
+// than could exist: deliveries ≤ sends + switch-generated allowance. The
+// allowance covers switch-side results (aggregation produces packets the
+// hosts never sent). It returns an error naming the first violating coflow.
+func (t *Tracker) CheckConservation(generatedAllowance int) error {
+	for id, s := range t.coflows {
+		if s.DeliverPkts > s.SentPkts+generatedAllowance {
+			return fmt.Errorf("coflow %d: delivered %d > sent %d + generated %d",
+				id, s.DeliverPkts, s.SentPkts, generatedAllowance)
+		}
+	}
+	return nil
+}
+
+// IDs returns all tracked coflow ids (unordered).
+func (t *Tracker) IDs() []uint32 {
+	ids := make([]uint32, 0, len(t.coflows))
+	for id := range t.coflows {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,201 @@
+package coflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAllToAllShape(t *testing.T) {
+	c := AllToAll(1, 8, 10, 4096)
+	if c.Width() != 8 {
+		t.Errorf("Width = %d", c.Width())
+	}
+	if len(c.OutputHosts) != 8 {
+		t.Errorf("OutputHosts = %d", len(c.OutputHosts))
+	}
+	if c.TotalPackets() != 80 {
+		t.Errorf("TotalPackets = %d", c.TotalPackets())
+	}
+	if c.TotalBytes() != 8*4096 {
+		t.Errorf("TotalBytes = %d", c.TotalBytes())
+	}
+	hosts := c.SourceHosts()
+	if len(hosts) != 8 || hosts[0] != 0 || hosts[7] != 7 {
+		t.Errorf("SourceHosts = %v", hosts)
+	}
+	for _, f := range c.Flows {
+		if f.DstHost != -1 {
+			t.Error("all-to-all flows should target the switch")
+		}
+	}
+}
+
+func TestShuffleShape(t *testing.T) {
+	c := Shuffle(2, 4, 3, 5, 1000)
+	if c.Width() != 4 {
+		t.Errorf("Width = %d", c.Width())
+	}
+	if len(c.OutputHosts) != 3 {
+		t.Errorf("OutputHosts = %d", len(c.OutputHosts))
+	}
+	// Destinations are hosts after the sources.
+	if c.OutputHosts[0] != 4 || c.OutputHosts[2] != 6 {
+		t.Errorf("OutputHosts = %v", c.OutputHosts)
+	}
+}
+
+func TestBroadcastShape(t *testing.T) {
+	c := Broadcast(3, 0, []int{1, 2, 3}, 7, 700)
+	if c.Width() != 1 {
+		t.Errorf("Width = %d", c.Width())
+	}
+	if len(c.OutputHosts) != 3 {
+		t.Errorf("OutputHosts = %d", len(c.OutputHosts))
+	}
+	if c.SourceHosts()[0] != 0 {
+		t.Errorf("SourceHosts = %v", c.SourceHosts())
+	}
+}
+
+func TestSourceHostsDedup(t *testing.T) {
+	c := &Coflow{ID: 1, Flows: []FlowSpec{
+		{FlowID: 0, SrcHost: 2}, {FlowID: 1, SrcHost: 2}, {FlowID: 2, SrcHost: 5},
+	}}
+	hosts := c.SourceHosts()
+	if len(hosts) != 2 || hosts[0] != 2 || hosts[1] != 5 {
+		t.Errorf("SourceHosts = %v", hosts)
+	}
+}
+
+func TestTrackerCompletion(t *testing.T) {
+	tr := NewTracker()
+	tr.Expect(1, 3)
+	tr.Send(1, 100, 1000)
+	tr.Send(1, 150, 1000)
+	tr.Deliver(1, 200, 500)
+	tr.Deliver(1, 300, 500)
+	if tr.Done(1) {
+		t.Error("done before expected deliveries")
+	}
+	tr.Deliver(1, 450, 500)
+	if !tr.Done(1) {
+		t.Error("not done after expected deliveries")
+	}
+	s := tr.Status(1)
+	if s.CCT() != 350 {
+		t.Errorf("CCT = %v, want 350 (450-100)", s.CCT())
+	}
+	if s.SentPkts != 2 || s.DeliverPkts != 3 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.SentBytes != 2000 || s.DeliverBytes != 1500 {
+		t.Errorf("bytes: %+v", s)
+	}
+}
+
+func TestTrackerUnknownExpectationNeverDone(t *testing.T) {
+	tr := NewTracker()
+	tr.Send(9, 1, 10)
+	tr.Deliver(9, 2, 10)
+	if tr.Done(9) {
+		t.Error("coflow with no expectation reported done")
+	}
+	if tr.Done(404) {
+		t.Error("never-seen coflow reported done")
+	}
+	if tr.Status(404) != nil {
+		t.Error("Status of unseen coflow non-nil")
+	}
+}
+
+func TestTrackerDropsAndConservation(t *testing.T) {
+	tr := NewTracker()
+	tr.Send(1, 0, 100)
+	tr.Send(1, 0, 100)
+	tr.Drop(1)
+	tr.Deliver(1, 10, 100)
+	if err := tr.CheckConservation(0); err != nil {
+		t.Errorf("conservation violated: %v", err)
+	}
+	// Deliver more than sent without allowance → violation.
+	tr2 := NewTracker()
+	tr2.Send(2, 0, 1)
+	tr2.Deliver(2, 1, 1)
+	tr2.Deliver(2, 2, 1)
+	if err := tr2.CheckConservation(0); err == nil {
+		t.Error("over-delivery not caught")
+	}
+	if err := tr2.CheckConservation(1); err != nil {
+		t.Errorf("allowance not honored: %v", err)
+	}
+}
+
+func TestTrackerIDs(t *testing.T) {
+	tr := NewTracker()
+	tr.Send(1, 0, 1)
+	tr.Send(7, 0, 1)
+	ids := tr.IDs()
+	if len(ids) != 2 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestTrackerFirstSendMin(t *testing.T) {
+	tr := NewTracker()
+	tr.Send(1, 500, 1)
+	tr.Send(1, 100, 1)
+	tr.Deliver(1, 600, 1)
+	if got := tr.Status(1).FirstSend; got != 100 {
+		t.Errorf("FirstSend = %v, want 100", got)
+	}
+}
+
+// Property: tracker conservation holds for any interleaving of sends,
+// drops, and deliveries where deliveries only follow sends.
+func TestTrackerConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTracker()
+		inFlight := 0
+		now := sim.Time(0)
+		for _, op := range ops {
+			now++
+			switch op % 3 {
+			case 0:
+				tr.Send(1, now, 10)
+				inFlight++
+			case 1:
+				if inFlight > 0 {
+					tr.Deliver(1, now, 10)
+					inFlight--
+				}
+			case 2:
+				if inFlight > 0 {
+					tr.Drop(1)
+					inFlight--
+				}
+			}
+		}
+		return tr.CheckConservation(0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CCT is non-negative whenever at least one send precedes a
+// delivery.
+func TestCCTNonNegativeProperty(t *testing.T) {
+	f := func(sendAt, gap uint16) bool {
+		tr := NewTracker()
+		tr.Expect(1, 1)
+		s := sim.Time(sendAt)
+		tr.Send(1, s, 1)
+		tr.Deliver(1, s+sim.Time(gap), 1)
+		return tr.Status(1).CCT() >= 0 && tr.Done(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package drmt models dRMT (Chole et al., SIGCOMM '17), the architecture
+// the paper cites as "a hardware-based variation that added shared memory
+// capabilities on top of an otherwise unaltered RMT switch" (§1).
+//
+// dRMT replaces the pipeline with a cluster of run-to-completion match
+// processors that share a disaggregated memory pool: tables are no longer
+// fragmented per stage, and program length is bounded by the processors'
+// instruction schedule rather than a stage count. Throughput stays
+// deterministic (line rate) as long as the per-packet cycle count times
+// the arrival rate fits the processor pool.
+//
+// In this repository dRMT is the honest middle point of the design space:
+// it relaxes RMT's per-stage table fragmentation and (partially) the
+// shared-state limitation ①, but keeps scalar per-packet processing — no
+// array matching (②) — and the multiplexed-port clock problem (③).
+package drmt
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/packet"
+)
+
+// Config describes a dRMT switch.
+type Config struct {
+	// Processors is the match-processor count (dRMT proposes ~32).
+	Processors int
+	// ClockHz is the processor clock.
+	ClockHz float64
+	// IPC is match/action operations retired per processor cycle.
+	IPC int
+	// MemPoolEntries is the shared table memory pool (not per stage!).
+	MemPoolEntries int
+	// RegisterCells is the shared stateful memory.
+	RegisterCells int
+	// MaxOpsPerPacket bounds the instruction schedule (program length).
+	MaxOpsPerPacket int
+	// Ports for rate accounting.
+	Ports         int
+	PortSpeedGbps float64
+}
+
+// DefaultConfig mirrors the dRMT paper's scale: 32 processors at 1 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Processors:      32,
+		ClockHz:         1e9,
+		IPC:             1,
+		MemPoolEntries:  12 * 64 * 1024, // the same SRAM as 12 RMT stages, pooled
+		RegisterCells:   12 * 4096,
+		MaxOpsPerPacket: 96,
+		Ports:           64,
+		PortSpeedGbps:   100,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors <= 0:
+		return fmt.Errorf("drmt: %d processors", c.Processors)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("drmt: clock %v", c.ClockHz)
+	case c.IPC <= 0:
+		return fmt.Errorf("drmt: IPC %d", c.IPC)
+	case c.MemPoolEntries <= 0 || c.RegisterCells <= 0:
+		return fmt.Errorf("drmt: memory pool %d/%d", c.MemPoolEntries, c.RegisterCells)
+	case c.MaxOpsPerPacket <= 0:
+		return fmt.Errorf("drmt: schedule budget %d", c.MaxOpsPerPacket)
+	}
+	return nil
+}
+
+// Proc is the per-packet execution context handed to programs: every op is
+// counted against the schedule budget.
+type Proc struct {
+	sw   *Switch
+	ops  int
+	dead bool
+}
+
+// ErrScheduleExceeded is returned when a program exceeds MaxOpsPerPacket —
+// dRMT's (much higher) analogue of running out of stages.
+var ErrScheduleExceeded = fmt.Errorf("drmt: program exceeded the instruction schedule")
+
+func (p *Proc) charge() error {
+	p.ops++
+	if p.ops > p.sw.cfg.MaxOpsPerPacket {
+		p.dead = true
+		return ErrScheduleExceeded
+	}
+	return nil
+}
+
+// Lookup matches key against a named table in the shared pool. One op.
+func (p *Proc) Lookup(table string, key uint64) (mat.Result, bool, error) {
+	if err := p.charge(); err != nil {
+		return mat.Result{}, false, err
+	}
+	t := p.sw.tables[table]
+	if t == nil {
+		return mat.Result{}, false, fmt.Errorf("drmt: unknown table %q", table)
+	}
+	r, ok := t.Lookup(key)
+	return r, ok, nil
+}
+
+// RegisterOp performs a stateful op on the SHARED register pool — unlike
+// RMT, every processor sees the same cells (the "shared memory
+// capabilities" the paper credits dRMT with). One op.
+func (p *Proc) RegisterOp(op mat.RegisterOp, idx int, arg uint64) (uint64, error) {
+	if err := p.charge(); err != nil {
+		return 0, err
+	}
+	if idx < 0 || idx >= p.sw.regs.Size() {
+		return 0, fmt.Errorf("drmt: register %d out of range", idx)
+	}
+	return p.sw.regs.Execute(op, idx, arg), nil
+}
+
+// Ops returns the operations charged so far.
+func (p *Proc) Ops() int { return p.ops }
+
+// Handler is a dRMT program: arbitrary control flow over Proc ops,
+// returning output ports (empty = consume/drop).
+type Handler func(p *Proc, d *packet.Decoded) ([]int, error)
+
+// Switch is a dRMT switch instance.
+type Switch struct {
+	cfg      Config
+	tables   map[string]*mat.ExactTable
+	poolUsed int
+	regs     *mat.RegisterFile
+
+	packets   uint64
+	cycles    uint64
+	delivered uint64
+	schedErrs uint64
+}
+
+// New builds a dRMT switch.
+func New(cfg Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Switch{
+		cfg:    cfg,
+		tables: make(map[string]*mat.ExactTable),
+		regs:   mat.NewRegisterFile(cfg.RegisterCells),
+	}, nil
+}
+
+// Config returns the configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// CreateTable allocates a table of the given capacity from the shared
+// pool. Unlike RMT there is no per-stage bin packing: any split of the
+// pool works (dRMT's memory disaggregation).
+func (s *Switch) CreateTable(name string, entries int) error {
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("drmt: table %q exists", name)
+	}
+	if entries <= 0 {
+		return fmt.Errorf("drmt: table %q with %d entries", name, entries)
+	}
+	if s.poolUsed+entries > s.cfg.MemPoolEntries {
+		return fmt.Errorf("drmt: pool exhausted (%d + %d > %d)", s.poolUsed, entries, s.cfg.MemPoolEntries)
+	}
+	s.poolUsed += entries
+	s.tables[name] = mat.NewExactTable(entries)
+	return nil
+}
+
+// Table returns a created table for population.
+func (s *Switch) Table(name string) *mat.ExactTable { return s.tables[name] }
+
+// PoolUsed returns allocated pool entries.
+func (s *Switch) PoolUsed() int { return s.poolUsed }
+
+// Registers exposes the shared register pool (tests, verification).
+func (s *Switch) Registers() *mat.RegisterFile { return s.regs }
+
+// Process runs one packet to completion on a processor.
+func (s *Switch) Process(pkt *packet.Packet, h Handler) ([]*packet.Packet, error) {
+	var d packet.Decoded
+	if err := d.DecodePacket(pkt); err != nil {
+		return nil, err
+	}
+	proc := &Proc{sw: s}
+	outPorts, err := h(proc, &d)
+	s.packets++
+	// Cycle accounting: ops over IPC, minimum 1.
+	cyc := (proc.ops + s.cfg.IPC - 1) / s.cfg.IPC
+	if cyc < 1 {
+		cyc = 1
+	}
+	s.cycles += uint64(cyc)
+	if err != nil {
+		if err == ErrScheduleExceeded {
+			s.schedErrs++
+		}
+		return nil, err
+	}
+	var out []*packet.Packet
+	for i, port := range outPorts {
+		p := pkt
+		if i > 0 {
+			p = pkt.Clone()
+		}
+		p.EgressPort = port
+		out = append(out, p)
+		s.delivered++
+	}
+	return out, nil
+}
+
+// Packets returns processed packets.
+func (s *Switch) Packets() uint64 { return s.packets }
+
+// ScheduleErrors returns packets that blew the instruction budget.
+func (s *Switch) ScheduleErrors() uint64 { return s.schedErrs }
+
+// ThroughputPPS returns the deterministic packet rate for a program of
+// opsPerPacket: processors × clock × IPC / ops. Line rate holds while this
+// meets the ports' aggregate packet rate.
+func (s *Switch) ThroughputPPS(opsPerPacket int) float64 {
+	if opsPerPacket < 1 {
+		opsPerPacket = 1
+	}
+	if opsPerPacket > s.cfg.MaxOpsPerPacket {
+		return 0 // program does not fit the schedule at all
+	}
+	return float64(s.cfg.Processors) * s.cfg.ClockHz * float64(s.cfg.IPC) / float64(opsPerPacket)
+}
+
+// LineRatePPS returns the aggregate packet arrival rate the ports can
+// generate at the minimum packet size.
+func (s *Switch) LineRatePPS() float64 {
+	return float64(s.cfg.Ports) * s.cfg.PortSpeedGbps * 1e9 / (8 * float64(packet.MinWireLen))
+}
+
+// SustainsLineRate reports whether a program of opsPerPacket holds line
+// rate — dRMT's "deterministic throughput" contract.
+func (s *Switch) SustainsLineRate(opsPerPacket int) bool {
+	return s.ThroughputPPS(opsPerPacket) >= s.LineRatePPS()
+}

@@ -1,0 +1,245 @@
+package drmt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/packet"
+)
+
+func rawPkt(dst int) *packet.Packet {
+	return packet.BuildRaw(packet.Header{DstPort: uint16(dst), CoflowID: 1}, 40)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Processors = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.IPC = 0 },
+		func(c *Config) { c.MemPoolEntries = 0 },
+		func(c *Config) { c.RegisterCells = 0 },
+		func(c *Config) { c.MaxOpsPerPacket = 0 },
+	}
+	for i, mut := range bads {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSharedMemoryPoolAllocation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemPoolEntries = 1000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlike RMT, a 700-entry table coexists with a 300-entry one even
+	// though neither fits "half a stage" — no per-stage fragmentation.
+	if err := s.CreateTable("big", 700); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("small", 300); err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolUsed() != 1000 {
+		t.Errorf("PoolUsed = %d", s.PoolUsed())
+	}
+	if err := s.CreateTable("extra", 1); err == nil {
+		t.Error("pool overflow accepted")
+	}
+	if err := s.CreateTable("big", 1); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := s.CreateTable("zero", 0); err == nil {
+		t.Error("zero-entry table accepted")
+	}
+}
+
+func TestProcessLookupAndForward(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("route", 16); err != nil {
+		t.Fatal(err)
+	}
+	s.Table("route").Insert(5, mat.Result{Params: [2]uint64{9, 0}})
+	out, err := s.Process(rawPkt(5), func(p *Proc, d *packet.Decoded) ([]int, error) {
+		r, ok, err := p.Lookup("route", uint64(d.Base.DstPort))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return []int{int(r.Params[0])}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].EgressPort != 9 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestSharedRegistersAcrossPackets(t *testing.T) {
+	// The dRMT selling point: ALL packets see one register pool — no
+	// per-pipeline state islands. Packets "arriving on different ports"
+	// (different processors in a real chip) increment one counter.
+	s, _ := New(DefaultConfig())
+	h := func(p *Proc, d *packet.Decoded) ([]int, error) {
+		if _, err := p.RegisterOp(mat.RegAdd, 0, 1); err != nil {
+			return nil, err
+		}
+		return []int{0}, nil
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Process(rawPkt(i), h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Registers().Peek(0); got != 10 {
+		t.Errorf("shared counter = %d, want 10", got)
+	}
+}
+
+func TestScheduleBudgetEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOpsPerPacket = 5
+	s, _ := New(cfg)
+	_, err := s.Process(rawPkt(0), func(p *Proc, d *packet.Decoded) ([]int, error) {
+		for i := 0; i < 10; i++ {
+			if _, err := p.RegisterOp(mat.RegRead, 0, 0); err != nil {
+				return nil, err
+			}
+		}
+		return []int{0}, nil
+	})
+	if err != ErrScheduleExceeded {
+		t.Errorf("err = %v, want ErrScheduleExceeded", err)
+	}
+	if s.ScheduleErrors() != 1 {
+		t.Errorf("ScheduleErrors = %d", s.ScheduleErrors())
+	}
+}
+
+func TestUnknownTableAndBadRegister(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	if _, err := s.Process(rawPkt(0), func(p *Proc, d *packet.Decoded) ([]int, error) {
+		_, _, err := p.Lookup("ghost", 1)
+		return nil, err
+	}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := s.Process(rawPkt(0), func(p *Proc, d *packet.Decoded) ([]int, error) {
+		_, err := p.RegisterOp(mat.RegAdd, -1, 1)
+		return nil, err
+	}); err == nil {
+		t.Error("bad register index accepted")
+	}
+}
+
+func TestThroughputModel(t *testing.T) {
+	s, _ := New(DefaultConfig()) // 32 procs × 1 GHz × IPC 1
+	if got := s.ThroughputPPS(1); got != 32e9 {
+		t.Errorf("1-op throughput = %v", got)
+	}
+	if got := s.ThroughputPPS(32); got != 1e9 {
+		t.Errorf("32-op throughput = %v", got)
+	}
+	if got := s.ThroughputPPS(1000); got != 0 {
+		t.Errorf("oversized program throughput = %v, want 0", got)
+	}
+	// 64×100G at 84 B ≈ 9.52 Bpps line rate: a 3-op program holds it
+	// (10.7 Bpps), a 4-op one does not (8 Bpps).
+	if !s.SustainsLineRate(3) {
+		t.Error("3-op program should hold line rate")
+	}
+	if s.SustainsLineRate(4) {
+		t.Error("4-op program should NOT hold line rate")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPC = 2
+	s, _ := New(cfg)
+	s.Process(rawPkt(0), func(p *Proc, d *packet.Decoded) ([]int, error) {
+		for i := 0; i < 5; i++ {
+			p.RegisterOp(mat.RegRead, 0, 0)
+		}
+		return nil, nil
+	})
+	// 5 ops at IPC 2 = 3 cycles.
+	if s.cycles != 3 {
+		t.Errorf("cycles = %d, want 3", s.cycles)
+	}
+}
+
+func TestStillScalar(t *testing.T) {
+	// dRMT does NOT fix limitation ②: matching a 16-key batch costs 16
+	// ops (16 processor cycles at IPC 1), not 1.
+	s, _ := New(DefaultConfig())
+	s.CreateTable("cache", 64)
+	for k := uint64(0); k < 16; k++ {
+		s.Table("cache").Insert(k, mat.Result{})
+	}
+	pairs := make([]packet.KVPair, 16)
+	for i := range pairs {
+		pairs[i].Key = uint32(i)
+	}
+	pkt := packet.Build(packet.Header{Proto: packet.ProtoKV}, &packet.KVHeader{Op: packet.KVGet, Pairs: pairs})
+	var opsUsed int
+	s.Process(pkt, func(p *Proc, d *packet.Decoded) ([]int, error) {
+		for _, pr := range d.KV.Pairs {
+			if _, _, err := p.Lookup("cache", uint64(pr.Key)); err != nil {
+				return nil, err
+			}
+		}
+		opsUsed = p.Ops()
+		return []int{0}, nil
+	})
+	if opsUsed != 16 {
+		t.Errorf("16-key batch used %d ops, want 16 (scalar)", opsUsed)
+	}
+}
+
+// Property: throughput is inversely proportional to ops within the budget.
+func TestThroughputInverseProperty(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	f := func(raw uint8) bool {
+		ops := int(raw)%s.Config().MaxOpsPerPacket + 1
+		got := s.ThroughputPPS(ops)
+		want := 32e9 / float64(ops)
+		return got > want*0.999 && got < want*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDRMTProcess(b *testing.B) {
+	s, _ := New(DefaultConfig())
+	s.CreateTable("t", 1024)
+	s.Table("t").Insert(1, mat.Result{})
+	pkt := rawPkt(1)
+	h := func(p *Proc, d *packet.Decoded) ([]int, error) {
+		p.Lookup("t", 1)
+		p.RegisterOp(mat.RegAdd, 0, 1)
+		return []int{0}, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Process(pkt, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

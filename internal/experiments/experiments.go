@@ -1,0 +1,54 @@
+// Package experiments assembles the repository's models into the paper's
+// tables and figures. Every experiment Ei returns both a printable
+// stats.Table (matching the paper's rows/series) and structured results
+// that the test suite asserts on and the benchmark harness reports.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/stats"
+)
+
+// Table2 regenerates the paper's Table 2 (port multiplexing poor
+// scalability).
+func Table2() (*stats.Table, []analytic.Table2Row) {
+	rows := analytic.Table2()
+	t := stats.NewTable(
+		"Table 2: Port multiplexing poor scalability",
+		"Switch Tput", "port speed (Gbps)", "# pipelines", "ports/pipeline", "min pkt (B)", "pipeline freq (GHz)",
+	)
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%g Gbps", r.ThroughputGbps),
+			fmt.Sprintf("%g", r.PortSpeedGbps),
+			fmt.Sprintf("%d", r.Pipelines),
+			fmt.Sprintf("%g", r.PortsPerPipeline),
+			fmt.Sprintf("%d", r.MinPacketBytes),
+			fmt.Sprintf("%.2f", analytic.RoundGHz(r.FreqGHz*1e9)),
+		)
+	}
+	return t, rows
+}
+
+// Table3 regenerates the paper's Table 3 (port demultiplexing examples).
+func Table3() (*stats.Table, []analytic.Table3Row) {
+	rows := analytic.Table3()
+	t := stats.NewTable(
+		"Table 3: Port demultiplexing examples",
+		"port speed (Gbps)", "ports/pipeline", "min pkt (B)", "pipeline freq (GHz)",
+	)
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%g", r.PortSpeedGbps),
+			fmt.Sprintf("%g", r.PortsPerPipeline),
+			fmt.Sprintf("%d", r.MinPacketBytes),
+			fmt.Sprintf("%.2f", analytic.RoundGHz(r.FreqGHz*1e9)),
+		)
+	}
+	return t, rows
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// trimTrailing normalizes the renderer's right-padding for comparison.
+func trimTrailing(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Golden tests: the rendered Tables 2 and 3 are the repository's headline
+// deliverable; any change to their text is a regression unless the paper
+// changed.
+
+const table2Golden = `Table 2: Port multiplexing poor scalability
+Switch Tput | port speed (Gbps) | # pipelines | ports/pipeline | min pkt (B) | pipeline freq (GHz)
+--------------------------------------------------------------------------------------------------
+640 Gbps    | 10                | 1           | 64             | 84          | 0.95
+6400 Gbps   | 100               | 4           | 16             | 160         | 1.25
+12800 Gbps  | 400               | 4           | 8              | 247         | 1.62
+25600 Gbps  | 800               | 8           | 8              | 495         | 1.62
+51200 Gbps  | 1600              | 8           | 4              | 495         | 1.62
+`
+
+const table3Golden = `Table 3: Port demultiplexing examples
+port speed (Gbps) | ports/pipeline | min pkt (B) | pipeline freq (GHz)
+----------------------------------------------------------------------
+800               | 8              | 495         | 1.62
+800               | 0.5            | 84          | 0.60
+1600              | 4              | 495         | 1.62
+1600              | 0.5            | 84          | 1.19
+`
+
+func TestTable2Golden(t *testing.T) {
+	tbl, _ := Table2()
+	if got := trimTrailing(tbl.String()); got != table2Golden {
+		t.Errorf("Table 2 text changed:\n--- got ---\n%s--- want ---\n%s", got, table2Golden)
+	}
+}
+
+func TestTable3Golden(t *testing.T) {
+	tbl, _ := Table3()
+	if got := trimTrailing(tbl.String()); got != table3Golden {
+		t.Errorf("Table 3 text changed:\n--- got ---\n%s--- want ---\n%s", got, table3Golden)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/phv"
+	"repro/internal/program"
+	"repro/internal/rmt"
+	"repro/internal/stats"
+)
+
+// ReplicationRow is one point of the Figure 3 table-replication experiment.
+type ReplicationRow struct {
+	KeysPerPacket int
+	// Analytical effective capacities of one 64K-entry stage.
+	RMTEffective  int
+	ADCPEffective int
+	// Compiler-verified placement on the two targets.
+	RMTReplication int
+	RMTSRAM        int
+	ADCPSRAM       int
+	// Measured: distinct entries a 4096-entry KV-cache stage accepted
+	// before overflowing, RMT vs ADCP.
+	RMTMeasuredCap  int
+	ADCPMeasuredCap int
+}
+
+// Replication runs the Figure 3 experiment three ways — closed form,
+// program compiler, and live switches — and checks they agree.
+func Replication(keysPerPacket []int) (*stats.Table, []ReplicationRow, error) {
+	if len(keysPerPacket) == 0 {
+		keysPerPacket = []int{1, 2, 4, 8, 16}
+	}
+	const stageEntries = 64 * 1024
+	const liveEntries = 4096 // live switches use smaller stages for speed
+	t := stats.NewTable(
+		"Figure 3: table replication under scalar processing (64K-entry stage)",
+		"keys/pkt", "RMT copies", "RMT effective", "ADCP effective", "RMT SRAM/entry", "measured RMT cap", "measured ADCP cap",
+	)
+	var rows []ReplicationRow
+	for _, k := range keysPerPacket {
+		row := ReplicationRow{
+			KeysPerPacket: k,
+			RMTEffective:  analytic.EffectiveTableCapacity(stageEntries, k, false),
+			ADCPEffective: analytic.EffectiveTableCapacity(stageEntries, k, true),
+		}
+
+		// Compiler placement of a cache table matched k-wide.
+		spec := &program.Spec{
+			Name:   fmt.Sprintf("cache-k%d", k),
+			Tables: []program.TableSpec{{Name: "cache", Kind: program.MatchExact, Entries: 2048, KeysPerPacket: k}},
+		}
+		rp, err := program.Compile(spec, program.RMTTarget())
+		if err != nil {
+			return nil, nil, err
+		}
+		ap, err := program.Compile(spec, program.ADCPTarget())
+		if err != nil {
+			return nil, nil, err
+		}
+		row.RMTReplication = rp.Tables["cache"].Replication
+		row.RMTSRAM = rp.Tables["cache"].SRAMEntries
+		row.ADCPSRAM = ap.Tables["cache"].SRAMEntries
+
+		// Live measurement: install until full on both KV caches.
+		rcap, acap, err := measureLiveCapacity(k, liveEntries)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.RMTMeasuredCap = rcap
+		row.ADCPMeasuredCap = acap
+
+		rows = append(rows, row)
+		t.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", row.RMTReplication),
+			fmt.Sprintf("%d", row.RMTEffective),
+			fmt.Sprintf("%d", row.ADCPEffective),
+			fmt.Sprintf("%d", row.RMTSRAM/2048),
+			fmt.Sprintf("%d", row.RMTMeasuredCap),
+			fmt.Sprintf("%d", row.ADCPMeasuredCap),
+		)
+	}
+	return t, rows, nil
+}
+
+// measureLiveCapacity installs entries into both switch builds until the
+// RMT one overflows, returning the distinct-entry capacities.
+func measureLiveCapacity(keysPerPacket, stageEntries int) (rmtCap, adcpCap int, err error) {
+	rcfg := rmt.DefaultConfig()
+	rcfg.Ports = 8
+	rcfg.Pipelines = 2
+	rp := rcfg.Pipe
+	rp.Stages = 2
+	rp.TableEntriesPerStage = stageEntries
+	rp.RegisterCellsPerStage = 64
+	rcfg.Pipe = rp
+
+	acfg := core.DefaultConfig()
+	acfg.Ports = 8
+	acfg.DemuxFactor = 1
+	acfg.CentralPipelines = 1 // single partition isolates pure capacity
+	acfg.EgressPipelines = 2
+	ap := acfg.Pipe
+	ap.Stages = 2
+	ap.TableEntriesPerStage = stageEntries
+	ap.RegisterCellsPerStage = 64
+	ap.PHVBudget = phv.ADCPBudget
+	acfg.Pipe = ap
+
+	kv := apps.KVConfig{KeysPerPacket: keysPerPacket, CacheEntries: stageEntries}
+	rsw, err := apps.NewKVCacheRMT(rcfg, kv)
+	if err != nil {
+		return 0, 0, err
+	}
+	asw, err := apps.NewKVCacheADCP(acfg, kv)
+	if err != nil {
+		return 0, 0, err
+	}
+	for k := uint32(0); int(k) < 2*stageEntries; k++ {
+		if err := rsw.Install(k, k); err != nil {
+			break
+		}
+		rmtCap++
+	}
+	for k := uint32(0); int(k) < 2*stageEntries; k++ {
+		if err := asw.Install(k, k); err != nil {
+			break
+		}
+		adcpCap++
+	}
+	return rmtCap, adcpCap, nil
+}

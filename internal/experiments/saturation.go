@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SaturationRow is one point of the saturation experiment.
+type SaturationRow struct {
+	Arch       string
+	Traversals uint64
+	Recirc     uint64
+	CCT        sim.Time
+}
+
+// Saturation runs the parameter server on both architectures with the
+// switch's service capacity modeled (netsim.Config.ServiceRatePPS): every
+// ingress traversal — including RMT's steering recirculations — now costs
+// switch time, so the §2 "great bandwidth cost" appears directly as coflow
+// completion time instead of only as a counter.
+func Saturation() (*stats.Table, []SaturationRow, error) {
+	cc := DefaultConvergenceConfig()
+	ps := apps.PSConfig{Workers: 12, ModelSize: 64, Width: 4}
+	netCfg := netsim.DefaultConfig(cc.Ports)
+	netCfg.ServiceRatePPS = 5e5 // 2 µs per traversal: the switch is the bottleneck
+
+	asw, err := apps.NewParamServerADCP(adcpConfig(cc), ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	ares, err := apps.RunParamServer(asw, netCfg, ps, 41, 7)
+	if err != nil {
+		return nil, nil, err
+	}
+	rsw, err := apps.NewParamServerRMT(rmtConfig(cc), ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	rres, err := apps.RunParamServer(rsw, netCfg, ps, 41, 7)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rows := []SaturationRow{
+		{Arch: "ADCP", Traversals: asw.IngressTraversals(), Recirc: 0, CCT: ares.CCT},
+		{Arch: "RMT", Traversals: rsw.IngressTraversals(), Recirc: rsw.RecirculationTraversals(), CCT: rres.CCT},
+	}
+	t := stats.NewTable(
+		"saturation: parameter aggregation with the switch as the bottleneck (2 µs/traversal)",
+		"architecture", "ingress traversals", "recirculated", "coflow completion",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Arch, fmt.Sprintf("%d", r.Traversals), fmt.Sprintf("%d", r.Recirc), r.CCT.String())
+	}
+	return t, rows, nil
+}

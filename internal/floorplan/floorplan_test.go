@@ -1,0 +1,209 @@
+package floorplan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridDemandAccounting(t *testing.T) {
+	g := NewGrid(8, 8, 10)
+	l := NewLayout("t")
+	l.Place("a", 0, 0)
+	l.Place("b", 3, 0)
+	if err := l.Connect("a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Route(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells (0,0)..(3,0) each carry 5 wires.
+	for x := 0; x <= 3; x++ {
+		if g.Demand(x, 0) != 5 {
+			t.Errorf("demand(%d,0) = %d, want 5", x, g.Demand(x, 0))
+		}
+	}
+	if g.Demand(4, 0) != 0 {
+		t.Error("demand leaked past endpoint")
+	}
+	if rep.PeakCongestion != 0.5 {
+		t.Errorf("peak = %v, want 0.5", rep.PeakCongestion)
+	}
+	if rep.Overflowed != 0 {
+		t.Errorf("overflowed = %d", rep.Overflowed)
+	}
+}
+
+func TestLRouteBothLegs(t *testing.T) {
+	g := NewGrid(8, 8, 100)
+	l := NewLayout("t")
+	l.Place("a", 1, 1)
+	l.Place("b", 4, 5)
+	l.Connect("a", "b", 1)
+	if _, err := l.Route(g); err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal leg at y=1, then vertical at x=4.
+	for x := 1; x <= 4; x++ {
+		if g.Demand(x, 1) != 1 {
+			t.Errorf("missing horizontal demand at (%d,1)", x)
+		}
+	}
+	for y := 2; y <= 5; y++ {
+		if g.Demand(4, y) != 1 {
+			t.Errorf("missing vertical demand at (4,%d)", y)
+		}
+	}
+	// Reverse direction works too.
+	g2 := NewGrid(8, 8, 100)
+	l2 := NewLayout("t2")
+	l2.Place("a", 4, 5)
+	l2.Place("b", 1, 1)
+	l2.Connect("a", "b", 1)
+	if _, err := l2.Route(g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Demand(1, 1) != 1 || g2.Demand(4, 5) != 1 {
+		t.Error("reverse route endpoints uncharged")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	l := NewLayout("t")
+	l.Place("a", 0, 0)
+	if err := l.Connect("a", "ghost", 1); err == nil {
+		t.Error("net to unplaced block accepted")
+	}
+	if err := l.Connect("ghost", "a", 1); err == nil {
+		t.Error("net from unplaced block accepted")
+	}
+	l.Place("b", 1, 1)
+	if err := l.Connect("a", "b", 0); err == nil {
+		t.Error("zero-wire net accepted")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	mustPanicFP(t, func() { NewGrid(0, 8, 1) })
+	mustPanicFP(t, func() { NewGrid(8, 8, 0) })
+}
+
+func mustPanicFP(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestOverflowDetection(t *testing.T) {
+	g := NewGrid(4, 4, 10)
+	l := NewLayout("t")
+	l.Place("a", 0, 0)
+	l.Place("b", 2, 0)
+	l.Connect("a", "b", 25)
+	rep, _ := l.Route(g)
+	if rep.Overflowed != 3 {
+		t.Errorf("overflowed = %d, want 3 cells at 2.5×", rep.Overflowed)
+	}
+	if rep.PeakCongestion != 2.5 {
+		t.Errorf("peak = %v", rep.PeakCongestion)
+	}
+}
+
+func TestMonolithicVsInterleaved(t *testing.T) {
+	// §4's claim: spreading TM slices across the layout lowers congestion
+	// versus monolithic TM blocks.
+	p := DefaultFloorplanParams()
+	mono, inter, err := Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.PeakCongestion <= inter.PeakCongestion {
+		t.Errorf("monolithic peak %.3f ≤ interleaved peak %.3f — §4 claim violated",
+			mono.PeakCongestion, inter.PeakCongestion)
+	}
+	// The gap should be substantial (the monolithic TM concentrates ~all
+	// ingress buses into a handful of cells).
+	if mono.PeakCongestion < 2*inter.PeakCongestion {
+		t.Errorf("expected ≥2× peak gap, got mono=%.3f inter=%.3f",
+			mono.PeakCongestion, inter.PeakCongestion)
+	}
+	t.Logf("peak congestion: monolithic=%.3f interleaved=%.3f (overflowed cells %d vs %d)",
+		mono.PeakCongestion, inter.PeakCongestion, mono.Overflowed, inter.Overflowed)
+}
+
+func TestFloorplanBlockCounts(t *testing.T) {
+	p := DefaultFloorplanParams()
+	mono, err := Monolithic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 TMs + 16 + 8 + 4 pipelines.
+	if mono.Blocks() != 2+16+8+4 {
+		t.Errorf("monolithic blocks = %d", mono.Blocks())
+	}
+	// Nets: 16 (ing→tm1) + 8×2 (tm1→cen→tm2) + 4 (tm2→eg).
+	if mono.Nets() != 16+16+4 {
+		t.Errorf("monolithic nets = %d", mono.Nets())
+	}
+	inter, err := Interleaved(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipelines + one TM slice per pipeline-attachment.
+	if inter.Blocks() != (16+16)+(8+16)+(4+4) {
+		t.Errorf("interleaved blocks = %d", inter.Blocks())
+	}
+	if inter.Nets() != mono.Nets() {
+		t.Errorf("net count changed: %d vs %d", inter.Nets(), mono.Nets())
+	}
+}
+
+func TestSpreadEven(t *testing.T) {
+	ys := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		y := spread(i, 8, 64)
+		if y < 0 || y >= 64 {
+			t.Fatalf("spread out of range: %d", y)
+		}
+		if ys[y] {
+			t.Fatalf("spread collision at %d", y)
+		}
+		ys[y] = true
+	}
+}
+
+// Property: mean congestion is invariant to how the TM is sliced when the
+// total wire length is equal... it is not in general, but mean must always
+// be ≤ peak, and reports must be internally consistent.
+func TestReportConsistencyProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := DefaultFloorplanParams()
+		p.WiresPerBus = int(seed)%500 + 1
+		mono, inter, err := Compare(p)
+		if err != nil {
+			return false
+		}
+		ok := func(r *Report) bool {
+			return r.MeanCongestion <= r.PeakCongestion+1e-9 &&
+				r.Overflowed >= 0 && r.Overflowed <= r.TotalCells &&
+				r.TotalCells == p.GridW*p.GridH
+		}
+		return ok(mono) && ok(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompareFloorplans(b *testing.B) {
+	p := DefaultFloorplanParams()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compare(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mat
+
+// Range-to-ternary expansion: TCAMs match value&mask == pattern, so an
+// arbitrary integer range [lo, hi] must be covered by a set of prefix
+// rules. This is the standard technique behind range matches in real
+// dataplanes (and the reason range-heavy ACLs eat TCAM capacity).
+
+// TernaryRule is one value/mask pattern.
+type TernaryRule struct {
+	Value, Mask uint64
+}
+
+// RangeToTernary returns a minimal prefix cover of the inclusive range
+// [lo, hi] over w-bit values (w ≤ 64). The greedy largest-aligned-block
+// algorithm yields at most 2w-2 rules. lo > hi returns nil.
+func RangeToTernary(lo, hi uint64, w int) []TernaryRule {
+	if w <= 0 || w > 64 {
+		return nil
+	}
+	var max uint64
+	if w == 64 {
+		max = ^uint64(0)
+	} else {
+		max = (uint64(1) << w) - 1
+	}
+	if lo > hi || lo > max {
+		return nil
+	}
+	if hi > max {
+		hi = max
+	}
+	fullMask := max
+	var rules []TernaryRule
+	for lo <= hi {
+		// Largest aligned block starting at lo that fits within [lo, hi].
+		size := uint64(1)
+		for {
+			next := size << 1
+			if next == 0 { // 2^64 block
+				if lo == 0 && hi == ^uint64(0) {
+					size = next // marker: whole space
+				}
+				break
+			}
+			if lo&(next-1) != 0 { // not aligned to the bigger block
+				break
+			}
+			if lo+next-1 > hi || lo+next-1 < lo { // overshoots (or wraps)
+				break
+			}
+			size = next
+		}
+		if size == 0 {
+			// Whole 64-bit space in one rule.
+			return []TernaryRule{{Value: 0, Mask: 0}}
+		}
+		mask := fullMask &^ (size - 1)
+		rules = append(rules, TernaryRule{Value: lo & mask, Mask: mask})
+		if lo+size-1 == ^uint64(0) || lo+size < lo {
+			break // reached the top of the space
+		}
+		lo += size
+	}
+	return rules
+}
+
+// InstallRange adds a prefix cover of [lo, hi] to a ternary table at the
+// given priority, all rules sharing one result. It returns the number of
+// TCAM entries consumed — the range-expansion cost.
+func InstallRange(t *TernaryTable, lo, hi uint64, w, priority int, r Result) (int, error) {
+	rules := RangeToTernary(lo, hi, w)
+	for _, rule := range rules {
+		if err := t.InsertRule(rule.Value, rule.Mask, priority, r); err != nil {
+			return 0, err
+		}
+	}
+	return len(rules), nil
+}

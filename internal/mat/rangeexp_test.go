@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// covered reports whether v matches any rule.
+func covered(rules []TernaryRule, v uint64) bool {
+	for _, r := range rules {
+		if v&r.Mask == r.Value {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRangeToTernaryExactSmall(t *testing.T) {
+	// Brute-force exactness over all 8-bit ranges.
+	for lo := uint64(0); lo < 256; lo++ {
+		for hi := lo; hi < 256; hi++ {
+			rules := RangeToTernary(lo, hi, 8)
+			if len(rules) == 0 {
+				t.Fatalf("[%d,%d]: no rules", lo, hi)
+			}
+			if len(rules) > 14 { // 2w-2 bound
+				t.Fatalf("[%d,%d]: %d rules exceeds 2w-2", lo, hi, len(rules))
+			}
+			for v := uint64(0); v < 256; v++ {
+				want := v >= lo && v <= hi
+				if covered(rules, v) != want {
+					t.Fatalf("[%d,%d]: value %d covered=%v want %v (rules %v)",
+						lo, hi, v, !want, want, rules)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeToTernarySingletonAndFull(t *testing.T) {
+	one := RangeToTernary(42, 42, 16)
+	if len(one) != 1 || one[0].Value != 42 || one[0].Mask != 0xFFFF {
+		t.Errorf("singleton = %v", one)
+	}
+	full := RangeToTernary(0, 0xFFFF, 16)
+	if len(full) != 1 || full[0].Mask != 0 {
+		t.Errorf("full range = %v", full)
+	}
+}
+
+func TestRangeToTernaryDegenerate(t *testing.T) {
+	if RangeToTernary(5, 4, 8) != nil {
+		t.Error("inverted range returned rules")
+	}
+	if RangeToTernary(300, 400, 8) != nil {
+		t.Error("lo beyond width returned rules")
+	}
+	if RangeToTernary(0, 10, 0) != nil || RangeToTernary(0, 10, 65) != nil {
+		t.Error("bad widths returned rules")
+	}
+	// hi clamped to the width.
+	r := RangeToTernary(250, 1000, 8)
+	if !covered(r, 255) || covered(r, 249) {
+		t.Errorf("clamped range wrong: %v", r)
+	}
+}
+
+func TestRangeToTernary64BitFull(t *testing.T) {
+	full := RangeToTernary(0, ^uint64(0), 64)
+	if len(full) != 1 || full[0].Mask != 0 || full[0].Value != 0 {
+		t.Errorf("full 64-bit = %v", full)
+	}
+	top := RangeToTernary(^uint64(0)-3, ^uint64(0), 64)
+	if len(top) != 1 || !covered(top, ^uint64(0)) || covered(top, ^uint64(0)-4) {
+		t.Errorf("top-of-space = %v", top)
+	}
+}
+
+// Property: exactness for random 16-bit ranges at sampled points.
+func TestRangeToTernaryProperty(t *testing.T) {
+	f := func(a, b, probe uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rules := RangeToTernary(lo, hi, 16)
+		v := uint64(probe)
+		return covered(rules, v) == (v >= lo && v <= hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstallRange(t *testing.T) {
+	tb := NewTernaryTable(64)
+	n, err := InstallRange(tb, 100, 200, 16, 5, Result{ActionID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n != tb.Len() {
+		t.Errorf("entries = %d, table has %d", n, tb.Len())
+	}
+	if r, ok := tb.Lookup(150); !ok || r.ActionID != 9 {
+		t.Error("in-range lookup missed")
+	}
+	if _, ok := tb.Lookup(99); ok {
+		t.Error("below-range matched")
+	}
+	if _, ok := tb.Lookup(201); ok {
+		t.Error("above-range matched")
+	}
+	// Capacity exhaustion propagates.
+	tiny := NewTernaryTable(1)
+	if _, err := InstallRange(tiny, 1, 100, 16, 0, Result{}); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func BenchmarkRangeToTernary32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RangeToTernary(1000, 2_000_000, 32)
+	}
+}

@@ -1,0 +1,315 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactTableBasics(t *testing.T) {
+	tb := NewExactTable(4)
+	if tb.Capacity() != 4 || tb.Len() != 0 {
+		t.Fatal("fresh table geometry wrong")
+	}
+	if err := tb.Insert(1, Result{ActionID: 10}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tb.Lookup(1)
+	if !ok || r.ActionID != 10 {
+		t.Errorf("Lookup(1) = %+v, %v", r, ok)
+	}
+	if _, ok := tb.Lookup(2); ok {
+		t.Error("missing key hit")
+	}
+	tb.Delete(1)
+	if _, ok := tb.Lookup(1); ok {
+		t.Error("deleted key still hits")
+	}
+	tb.Delete(99) // no-op
+}
+
+func TestExactTableCapacity(t *testing.T) {
+	tb := NewExactTable(2)
+	tb.Insert(1, Result{})
+	tb.Insert(2, Result{})
+	if err := tb.Insert(3, Result{}); err != ErrTableFull {
+		t.Errorf("overflow insert err = %v, want ErrTableFull", err)
+	}
+	// Replacing an existing key is allowed at capacity.
+	if err := tb.Insert(2, Result{ActionID: 5}); err != nil {
+		t.Errorf("replace at capacity failed: %v", err)
+	}
+	r, _ := tb.Lookup(2)
+	if r.ActionID != 5 {
+		t.Error("replace did not take")
+	}
+}
+
+func TestLPMLongestWins(t *testing.T) {
+	tb := NewLPMTable(10)
+	if err := tb.InsertPrefix(0x0A000000, 8, Result{ActionID: 1}); err != nil { // 10/8
+		t.Fatal(err)
+	}
+	if err := tb.InsertPrefix(0x0A0B0000, 16, Result{ActionID: 2}); err != nil { // 10.11/16
+		t.Fatal(err)
+	}
+	if err := tb.InsertPrefix(0, 0, Result{ActionID: 3}); err != nil { // default
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0x0A0B0C0D, 2}, // matches /16
+		{0x0AFF0000, 1}, // matches /8 only
+		{0x0B000000, 3}, // default
+	}
+	for _, c := range cases {
+		r, ok := tb.Lookup(c.key)
+		if !ok || r.ActionID != c.want {
+			t.Errorf("Lookup(%x) = %+v/%v, want action %d", c.key, r, ok, c.want)
+		}
+	}
+}
+
+func TestLPMCapacityAndDelete(t *testing.T) {
+	tb := NewLPMTable(2)
+	tb.InsertPrefix(0x01000000, 8, Result{})
+	tb.InsertPrefix(0x02000000, 8, Result{})
+	if err := tb.InsertPrefix(0x03000000, 8, Result{}); err != ErrTableFull {
+		t.Errorf("err = %v, want ErrTableFull", err)
+	}
+	// Replacing an existing rule works at capacity.
+	if err := tb.InsertPrefix(0x01000000, 8, Result{ActionID: 9}); err != nil {
+		t.Errorf("replace: %v", err)
+	}
+	tb.DeletePrefix(0x01000000, 8)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d after delete, want 1", tb.Len())
+	}
+	if _, ok := tb.Lookup(0x01020304); ok {
+		t.Error("deleted prefix still matches")
+	}
+	// Table interface path: 32-bit exact.
+	if err := tb.Insert(0xAABBCCDD, Result{ActionID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := tb.Lookup(0xAABBCCDD); !ok || r.ActionID != 7 {
+		t.Error("exact /32 rule broken")
+	}
+	tb.Delete(0xAABBCCDD)
+	if _, ok := tb.Lookup(0xAABBCCDD); ok {
+		t.Error("Delete of /32 rule failed")
+	}
+}
+
+func TestLPMBadLength(t *testing.T) {
+	tb := NewLPMTable(2)
+	if err := tb.InsertPrefix(0, 33, Result{}); err == nil {
+		t.Error("length 33 accepted")
+	}
+	if err := tb.InsertPrefix(0, -1, Result{}); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	tb := NewTernaryTable(10)
+	// Low-priority catch-all, higher-priority specific.
+	tb.InsertRule(0, 0, 1, Result{ActionID: 1})
+	tb.InsertRule(0x0F00, 0xFF00, 10, Result{ActionID: 2})
+	r, ok := tb.Lookup(0x0F42)
+	if !ok || r.ActionID != 2 {
+		t.Errorf("specific rule lost: %+v", r)
+	}
+	r, ok = tb.Lookup(0x1234)
+	if !ok || r.ActionID != 1 {
+		t.Errorf("catch-all lost: %+v", r)
+	}
+}
+
+func TestTernaryCapacityDelete(t *testing.T) {
+	tb := NewTernaryTable(2)
+	tb.Insert(5, Result{ActionID: 1})
+	tb.Insert(6, Result{ActionID: 2})
+	if err := tb.Insert(7, Result{}); err != ErrTableFull {
+		t.Errorf("err = %v, want ErrTableFull", err)
+	}
+	tb.Delete(5)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+	if _, ok := tb.Lookup(5); ok {
+		t.Error("deleted rule still matches")
+	}
+	if err := tb.Insert(7, Result{ActionID: 3}); err != nil {
+		t.Errorf("insert after delete: %v", err)
+	}
+}
+
+func TestTernaryNoMatch(t *testing.T) {
+	tb := NewTernaryTable(4)
+	tb.InsertRule(0xFF, 0xFF, 0, Result{})
+	if _, ok := tb.Lookup(0xFE); ok {
+		t.Error("non-matching key hit")
+	}
+}
+
+// Property: exact table stores and retrieves arbitrary key sets faithfully.
+func TestExactTableProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tb := NewExactTable(len(keys) + 1)
+		want := make(map[uint64]int)
+		for i, k := range keys {
+			want[k] = i
+			if err := tb.Insert(k, Result{ActionID: i}); err != nil {
+				return false
+			}
+		}
+		for k, i := range want {
+			r, ok := tb.Lookup(k)
+			if !ok || r.ActionID != i {
+				return false
+			}
+		}
+		return tb.Len() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LPM default route catches everything when present.
+func TestLPMDefaultProperty(t *testing.T) {
+	tb := NewLPMTable(10)
+	tb.InsertPrefix(0, 0, Result{ActionID: 42})
+	f := func(key uint32) bool {
+		r, ok := tb.Lookup(uint64(key))
+		return ok && r.ActionID >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ternary lookup honors mask semantics.
+func TestTernaryMaskProperty(t *testing.T) {
+	f := func(value, mask, key uint64) bool {
+		tb := NewTernaryTable(1)
+		tb.InsertRule(value, mask, 0, Result{ActionID: 1})
+		_, ok := tb.Lookup(key)
+		return ok == (key&mask == value&mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashToBucketCoverageAndDeterminism(t *testing.T) {
+	seen := make(map[int]int)
+	for k := uint64(0); k < 10000; k++ {
+		b := HashToBucket(k, 8)
+		if b < 0 || b >= 8 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+		seen[b]++
+		if HashToBucket(k, 8) != b {
+			t.Fatal("HashToBucket not deterministic")
+		}
+	}
+	for b := 0; b < 8; b++ {
+		if seen[b] < 800 { // expect ~1250 each; generous bound
+			t.Errorf("bucket %d badly underloaded: %d", b, seen[b])
+		}
+	}
+	// Non-power-of-two path.
+	for k := uint64(0); k < 1000; k++ {
+		b := HashToBucket(k, 7)
+		if b < 0 || b >= 7 {
+			t.Fatalf("bucket %d out of [0,7)", b)
+		}
+	}
+	mustPanicMat(t, func() { HashToBucket(1, 0) })
+}
+
+func mustPanicMat(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkExactLookup(b *testing.B) {
+	tb := NewExactTable(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		tb.Insert(uint64(i), Result{ActionID: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint64(i) & 0xFFFF)
+	}
+}
+
+// Property: LPM lookup agrees with a brute-force longest-prefix scan for
+// random rule sets and probes.
+func TestLPMBruteForceProperty(t *testing.T) {
+	f := func(seeds []uint32, probe uint32) bool {
+		tb := NewLPMTable(64)
+		type rule struct {
+			prefix uint32
+			length int
+			action int
+		}
+		var rules []rule
+		for i, s := range seeds {
+			if i >= 20 {
+				break
+			}
+			length := int(s % 33)
+			prefix := s & lpmMask(length)
+			if err := tb.InsertPrefix(prefix, length, Result{ActionID: i + 1}); err != nil {
+				return false
+			}
+			// Mirror the table's replace semantics: same (prefix, length)
+			// overwrites.
+			replaced := false
+			for j := range rules {
+				if rules[j].prefix == prefix && rules[j].length == length {
+					rules[j].action = i + 1
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				rules = append(rules, rule{prefix, length, i + 1})
+			}
+		}
+		// Brute force: longest matching prefix wins; ties on length are
+		// impossible (same prefix+length replaced above).
+		best, bestLen := 0, -1
+		for _, r := range rules {
+			if probe&lpmMask(r.length) == r.prefix && r.length > bestLen {
+				best, bestLen = r.action, r.length
+			}
+		}
+		got, ok := tb.Lookup(uint64(probe))
+		if bestLen < 0 {
+			return !ok
+		}
+		return ok && got.ActionID == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package netsim provides the host/link substrate around a switch model:
+// hosts attached to switch ports, links with serialization and propagation
+// delay, and a discrete-event harness that injects packets, runs them
+// through the switch, and delivers outputs back to hosts with coflow
+// completion tracking.
+//
+// The switch models themselves (rmt.Switch, core.Switch, swswitch wrapped)
+// are synchronous; netsim adds time. Timing here is deliberately simple —
+// store-and-forward with a fixed switch latency — because the experiments
+// measure *relative* behavior (RMT vs ADCP on identical arrivals), not
+// absolute datacenter latencies.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/coflow"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// SwitchModel is any switch that can synchronously process one packet and
+// return the delivered outputs. Both rmt.Switch and core.Switch satisfy it.
+type SwitchModel interface {
+	Process(pkt *packet.Packet) ([]*packet.Packet, error)
+}
+
+// Config describes the network around the switch.
+type Config struct {
+	// Hosts is the number of attached hosts; host i connects to switch
+	// port i, so it must not exceed the switch's port count.
+	Hosts int
+	// LinkGbps is the host link speed.
+	LinkGbps float64
+	// PerHostGbps, when non-nil, overrides LinkGbps per host (Table 1's
+	// group-communication row: "servers have different NIC capabilities").
+	PerHostGbps []float64
+	// PropDelay is the one-way propagation delay per link.
+	PropDelay sim.Time
+	// SwitchLatency is the fixed store-and-forward latency through the
+	// switch (pipeline depth / clock, TM queuing aside).
+	SwitchLatency sim.Time
+	// ServiceRatePPS, when positive, models the switch's aggregate
+	// ingress service rate: each pipeline traversal occupies the switch
+	// for 1/rate seconds, so recirculated passes consume real capacity
+	// and back-pressure later arrivals. Zero = infinitely fast switch
+	// (the default; experiments that only need functional behavior).
+	// Requires the switch to implement TraversalCounter; ignored
+	// otherwise.
+	ServiceRatePPS float64
+}
+
+// TraversalCounter is implemented by switch models that can report their
+// cumulative ingress traversals (both rmt.Switch and core.Switch do); the
+// service-rate model uses the per-packet traversal delta as its cost.
+type TraversalCounter interface {
+	IngressTraversals() uint64
+}
+
+// DefaultConfig: 100 Gbps links, 500 ns propagation, 1 µs switch latency.
+func DefaultConfig(hosts int) Config {
+	return Config{
+		Hosts:         hosts,
+		LinkGbps:      100,
+		PropDelay:     500 * sim.Nanosecond,
+		SwitchLatency: sim.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Hosts <= 0:
+		return fmt.Errorf("netsim: %d hosts", c.Hosts)
+	case c.LinkGbps <= 0:
+		return fmt.Errorf("netsim: link %v Gbps", c.LinkGbps)
+	case c.PropDelay < 0 || c.SwitchLatency < 0:
+		return fmt.Errorf("netsim: negative delay")
+	}
+	return nil
+}
+
+// Host is one attached server.
+type Host struct {
+	ID       int
+	Received []*packet.Packet
+	// RxBytes counts wire bytes received.
+	RxBytes uint64
+}
+
+// Network is the event-driven harness.
+type Network struct {
+	cfg     Config
+	eng     *sim.Engine
+	sw      SwitchModel
+	hosts   []*Host
+	tracker *coflow.Tracker
+
+	// txBusyUntil serializes each host's uplink; rxBusyUntil each downlink.
+	txBusyUntil []sim.Time
+	rxBusyUntil []sim.Time
+	// swBusyUntil models the switch's service capacity (ServiceRatePPS).
+	swBusyUntil sim.Time
+
+	// OnDeliver, when set, observes every host delivery.
+	OnDeliver func(host int, pkt *packet.Packet, now sim.Time)
+
+	injected  uint64
+	delivered uint64
+	errs      []error
+}
+
+// New builds a network around the switch.
+func New(cfg Config, sw SwitchModel) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		sw:          sw,
+		tracker:     coflow.NewTracker(),
+		txBusyUntil: make([]sim.Time, cfg.Hosts),
+		rxBusyUntil: make([]sim.Time, cfg.Hosts),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		n.hosts = append(n.hosts, &Host{ID: i})
+	}
+	return n, nil
+}
+
+// Engine exposes the event engine (for scheduling application logic).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Tracker exposes the coflow tracker.
+func (n *Network) Tracker() *coflow.Tracker { return n.tracker }
+
+// Host returns host i.
+func (n *Network) Host(i int) *Host { return n.hosts[i] }
+
+// linkGbps returns the link speed of a host.
+func (n *Network) linkGbps(host int) float64 {
+	if n.cfg.PerHostGbps != nil && host < len(n.cfg.PerHostGbps) && n.cfg.PerHostGbps[host] > 0 {
+		return n.cfg.PerHostGbps[host]
+	}
+	return n.cfg.LinkGbps
+}
+
+// serialization returns the wire time of a packet on a host's link.
+func (n *Network) serialization(host int, p *packet.Packet) sim.Time {
+	bits := float64(p.WireLen() * 8)
+	return sim.Time(bits / n.linkGbps(host) * 1000) // Gbps → ps per bit: 1000/Gbps
+}
+
+// SendAt schedules host src to transmit pkt at time at (or when its uplink
+// frees, whichever is later). The packet's IngressPort is stamped with the
+// host's port.
+func (n *Network) SendAt(src int, pkt *packet.Packet, at sim.Time) {
+	if src < 0 || src >= n.cfg.Hosts {
+		panic(fmt.Sprintf("netsim: host %d out of range", src))
+	}
+	pkt.IngressPort = src
+	n.eng.Schedule(at, func() {
+		start := n.eng.Now()
+		if n.txBusyUntil[src] > start {
+			start = n.txBusyUntil[src]
+		}
+		done := start + n.serialization(src, pkt)
+		n.txBusyUntil[src] = done
+		arrive := done + n.cfg.PropDelay
+		var d packet.Decoded
+		cfID := uint32(0)
+		if err := d.DecodePacket(pkt); err == nil {
+			cfID = d.Base.CoflowID
+		}
+		n.tracker.Send(cfID, n.eng.Now(), pkt.WireLen())
+		n.injected++
+		n.eng.Schedule(arrive, func() { n.arriveAtSwitch(pkt) })
+	})
+}
+
+// arriveAtSwitch runs the switch synchronously and schedules deliveries.
+// With a service rate configured, arrivals wait for the switch to free up
+// and each traversal (including recirculated passes) occupies it.
+func (n *Network) arriveAtSwitch(pkt *packet.Packet) {
+	var counter TraversalCounter
+	if n.cfg.ServiceRatePPS > 0 {
+		counter, _ = n.sw.(TraversalCounter)
+	}
+	if counter != nil && n.swBusyUntil > n.eng.Now() {
+		at := n.swBusyUntil
+		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt) })
+		return
+	}
+	var before uint64
+	if counter != nil {
+		before = counter.IngressTraversals()
+	}
+	outs, err := n.sw.Process(pkt)
+	if err != nil {
+		n.errs = append(n.errs, err)
+		return
+	}
+	if counter != nil {
+		delta := counter.IngressTraversals() - before
+		if delta == 0 {
+			delta = 1
+		}
+		perTraversal := sim.Time(1e12 / n.cfg.ServiceRatePPS)
+		n.swBusyUntil = n.eng.Now() + sim.Time(delta)*perTraversal
+	}
+	for _, out := range outs {
+		out := out
+		// Each recirculated pass adds a full pipeline transit.
+		base := n.eng.Now() + n.cfg.SwitchLatency*sim.Time(1+out.Recirculations)
+		dst := out.EgressPort
+		if dst < 0 || dst >= n.cfg.Hosts {
+			// Delivered on a port with no host attached; drop silently
+			// but account it as an error for tests.
+			n.errs = append(n.errs, fmt.Errorf("netsim: delivery on hostless port %d", dst))
+			continue
+		}
+		start := base
+		if n.rxBusyUntil[dst] > start {
+			start = n.rxBusyUntil[dst]
+		}
+		done := start + n.serialization(dst, out)
+		n.rxBusyUntil[dst] = done
+		arrive := done + n.cfg.PropDelay
+		n.eng.Schedule(arrive, func() { n.deliver(dst, out) })
+	}
+}
+
+func (n *Network) deliver(dst int, p *packet.Packet) {
+	h := n.hosts[dst]
+	h.Received = append(h.Received, p)
+	h.RxBytes += uint64(p.WireLen())
+	n.delivered++
+	var d packet.Decoded
+	cfID := uint32(0)
+	if err := d.DecodePacket(p); err == nil {
+		cfID = d.Base.CoflowID
+	}
+	n.tracker.Deliver(cfID, n.eng.Now(), p.WireLen())
+	if n.OnDeliver != nil {
+		n.OnDeliver(dst, p, n.eng.Now())
+	}
+}
+
+// Run drains the event queue.
+func (n *Network) Run() { n.eng.Run() }
+
+// RunUntil drains events up to the deadline.
+func (n *Network) RunUntil(t sim.Time) { n.eng.RunUntil(t) }
+
+// Injected returns packets sent by hosts.
+func (n *Network) Injected() uint64 { return n.injected }
+
+// Delivered returns packets received by hosts.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Errors returns switch/delivery errors accumulated during the run.
+func (n *Network) Errors() []error { return n.errs }
+
+// Now returns the current simulated time.
+func (n *Network) Now() sim.Time { return n.eng.Now() }

@@ -1,0 +1,102 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// These tests feed adversarial bytes to every decoder: decoding untrusted
+// input must never panic or over-read — it either succeeds or returns an
+// error.
+
+func TestDecodedNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		var d Decoded
+		_ = d.Decode(data) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseGraphNeverPanicsOnRandomBytes(t *testing.T) {
+	g := StandardGraph()
+	f := func(data []byte) bool {
+		_, _ = g.Run(data, 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodedOnMutatedValidPackets corrupts valid packets byte-by-byte:
+// decoding must never panic, and when it succeeds the element counts must
+// be consistent with the buffer (no slice over-reads — Go would panic).
+func TestDecodedOnMutatedValidPackets(t *testing.T) {
+	seeds := []*Packet{
+		Build(Header{Proto: ProtoML, CoflowID: 1}, &MLHeader{Base: 4, Values: []uint32{1, 2, 3}}),
+		Build(Header{Proto: ProtoKV, CoflowID: 2}, &KVHeader{Op: KVGet, Pairs: []KVPair{{1, 2}, {3, 4}}}),
+		Build(Header{Proto: ProtoDB, CoflowID: 3}, &DBHeader{Query: 1, Tuples: []DBTuple{{5, 6}}}),
+		Build(Header{Proto: ProtoGraph, CoflowID: 4}, &GraphHeader{Round: 1, Edges: []Edge{{7, 8}}}),
+		Build(Header{Proto: ProtoGroup, CoflowID: 5}, &GroupHeader{GroupID: 9, Payload: []byte("xyz")}),
+	}
+	for _, seed := range seeds {
+		for pos := 0; pos < len(seed.Data); pos++ {
+			for _, val := range []byte{0x00, 0xFF, 0x80} {
+				mut := append([]byte(nil), seed.Data...)
+				mut[pos] = val
+				var d Decoded
+				_ = d.Decode(mut)
+			}
+		}
+	}
+}
+
+// TestTruncationSweep decodes every prefix of valid packets: all must
+// return cleanly (full length succeeds, shorter may error).
+func TestTruncationSweep(t *testing.T) {
+	p := Build(Header{Proto: ProtoKV, CoflowID: 1},
+		&KVHeader{Op: KVPut, Pairs: []KVPair{{1, 10}, {2, 20}, {3, 30}, {4, 40}}})
+	for n := 0; n <= len(p.Data); n++ {
+		var d Decoded
+		err := d.Decode(p.Data[:n])
+		if n == len(p.Data) && err != nil {
+			t.Fatalf("full packet failed: %v", err)
+		}
+		if n < BaseHeaderLen && err == nil {
+			t.Fatalf("prefix %d decoded without error", n)
+		}
+	}
+}
+
+// TestCountFieldLies sets the element-count field higher than the buffer
+// allows: decoders must error, not over-read.
+func TestCountFieldLies(t *testing.T) {
+	p := Build(Header{Proto: ProtoML}, &MLHeader{Values: []uint32{1, 2}})
+	// ML count lives at base+6..8; claim 1000 values.
+	p.Data[BaseHeaderLen+6] = 0x03
+	p.Data[BaseHeaderLen+7] = 0xE8
+	var d Decoded
+	if err := d.Decode(p.Data); err == nil {
+		t.Error("lying count decoded without error")
+	}
+	kv := Build(Header{Proto: ProtoKV}, &KVHeader{Pairs: []KVPair{{1, 1}}})
+	kv.Data[BaseHeaderLen+2] = 0xFF
+	kv.Data[BaseHeaderLen+3] = 0xFF
+	if err := d.Decode(kv.Data); err == nil {
+		t.Error("lying KV count decoded without error")
+	}
+}
+
+// TestLengthFieldLies sets base Length beyond the buffer.
+func TestLengthFieldLies(t *testing.T) {
+	p := BuildRaw(Header{}, 10)
+	p.Data[18] = 0xFF // Length field high byte
+	p.Data[19] = 0xFF
+	var h Header
+	if _, err := h.Decode(p.Data); err != ErrTruncated {
+		t.Errorf("lying Length: err = %v, want ErrTruncated", err)
+	}
+}

@@ -1,0 +1,303 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements a small P4-style programmable parser: a parse graph
+// whose states extract byte ranges into named fields and branch on a
+// selector field's value. The switch pipelines use it to model the
+// programmable parser block (Figure 1/4); its cost model — cycles
+// proportional to states visited, independent of port speed — follows the
+// paper's observation (§3.3) that "parsing efficiency is linked to the
+// complexity of structure within packets rather than port speed".
+
+// FieldRef names an extracted field within a parser state.
+type FieldRef struct {
+	Name   string
+	Offset int // byte offset within the state's region
+	Width  int // bytes: 1, 2, or 4
+}
+
+// ArrayRef declares an array extraction (§3.2: "array processing
+// techniques in packet parsing"): after the state's fixed header, Count
+// elements are lifted as 32-bit values, one per Stride bytes starting at
+// ElemOffset within each element. Count comes from a scalar field
+// extracted in the same state, capped at MaxCount.
+type ArrayRef struct {
+	Name       string
+	CountField string
+	BaseOffset int // bytes after the state's fixed header
+	Stride     int // bytes per element
+	ElemOffset int // offset of the 32-bit value within the element
+	MaxCount   int // safety cap (0 = 16, one ADCP array width)
+}
+
+// ParseState is one node of the parse graph.
+type ParseState struct {
+	Name     string
+	HdrLen   int        // bytes consumed by this state
+	Extracts []FieldRef // fields lifted into the PHV
+	// Arrays are lifted after the fixed header; they do not advance the
+	// parse cursor (the deparser owns the body).
+	Arrays []ArrayRef
+	// Select picks the next state by the value of the named field
+	// (which must be extracted in this state). Empty Select with empty
+	// Default accepts.
+	Select  string
+	Next    map[uint64]string // field value → state name
+	Default string            // fallback state ("" = accept)
+}
+
+// ParseGraph is a compiled parser program.
+type ParseGraph struct {
+	states map[string]*ParseState
+	start  string
+}
+
+// NewParseGraph builds a graph starting at start. States are added with Add.
+func NewParseGraph(start string) *ParseGraph {
+	return &ParseGraph{states: make(map[string]*ParseState), start: start}
+}
+
+// Add registers a state. It returns the graph for chaining.
+func (g *ParseGraph) Add(s *ParseState) *ParseGraph {
+	g.states[s.Name] = s
+	return g
+}
+
+// Validate checks that every referenced state exists and selectors are
+// extracted in their own state.
+func (g *ParseGraph) Validate() error {
+	if _, ok := g.states[g.start]; !ok {
+		return fmt.Errorf("packet: start state %q missing", g.start)
+	}
+	for name, s := range g.states {
+		if s.Select != "" {
+			found := false
+			for _, f := range s.Extracts {
+				if f.Name == s.Select {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("packet: state %q selects on %q which it does not extract", name, s.Select)
+			}
+		}
+		for _, next := range s.Next {
+			if next != "" {
+				if _, ok := g.states[next]; !ok {
+					return fmt.Errorf("packet: state %q branches to missing state %q", name, next)
+				}
+			}
+		}
+		if s.Default != "" {
+			if _, ok := g.states[s.Default]; !ok {
+				return fmt.Errorf("packet: state %q defaults to missing state %q", name, s.Default)
+			}
+		}
+		for _, f := range s.Extracts {
+			if f.Offset+f.Width > s.HdrLen {
+				return fmt.Errorf("packet: state %q field %q overruns header", name, f.Name)
+			}
+			switch f.Width {
+			case 1, 2, 4:
+			default:
+				return fmt.Errorf("packet: state %q field %q has width %d (want 1, 2, or 4)", name, f.Name, f.Width)
+			}
+		}
+		for _, a := range s.Arrays {
+			if a.Name == "" || a.CountField == "" {
+				return fmt.Errorf("packet: state %q array missing name or count field", name)
+			}
+			found := false
+			for _, f := range s.Extracts {
+				if f.Name == a.CountField {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("packet: state %q array %q counts on %q which it does not extract", name, a.Name, a.CountField)
+			}
+			if a.Stride < 4 || a.ElemOffset+4 > a.Stride || a.BaseOffset < 0 {
+				return fmt.Errorf("packet: state %q array %q has bad geometry (stride %d, elem offset %d)", name, a.Name, a.Stride, a.ElemOffset)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseResult holds extracted fields and the parse cost.
+type ParseResult struct {
+	Fields map[string]uint64
+	// Arrays holds array extractions (§3.2); slices are freshly allocated
+	// per Run.
+	Arrays        map[string][]uint32
+	StatesVisited int
+	BytesConsumed int
+}
+
+// Run parses data through the graph. maxStates bounds traversal (loop
+// protection); 0 means 64.
+func (g *ParseGraph) Run(data []byte, maxStates int) (*ParseResult, error) {
+	if maxStates <= 0 {
+		maxStates = 64
+	}
+	res := &ParseResult{Fields: make(map[string]uint64)}
+	cur := g.start
+	for cur != "" {
+		if res.StatesVisited >= maxStates {
+			return nil, fmt.Errorf("packet: parse exceeded %d states (cycle?)", maxStates)
+		}
+		s, ok := g.states[cur]
+		if !ok {
+			return nil, fmt.Errorf("packet: missing state %q", cur)
+		}
+		if len(data) < s.HdrLen {
+			return nil, ErrTruncated
+		}
+		region := data[:s.HdrLen]
+		for _, f := range s.Extracts {
+			var v uint64
+			switch f.Width {
+			case 1:
+				v = uint64(region[f.Offset])
+			case 2:
+				v = uint64(binary.BigEndian.Uint16(region[f.Offset:]))
+			case 4:
+				v = uint64(binary.BigEndian.Uint32(region[f.Offset:]))
+			}
+			res.Fields[f.Name] = v
+		}
+		for _, a := range s.Arrays {
+			n := int(res.Fields[a.CountField])
+			maxN := a.MaxCount
+			if maxN <= 0 {
+				maxN = 16
+			}
+			if n > maxN {
+				n = maxN
+			}
+			body := data[s.HdrLen:]
+			vals := make([]uint32, 0, n)
+			for i := 0; i < n; i++ {
+				off := a.BaseOffset + i*a.Stride + a.ElemOffset
+				if off+4 > len(body) {
+					return nil, ErrTruncated
+				}
+				vals = append(vals, binary.BigEndian.Uint32(body[off:]))
+			}
+			if res.Arrays == nil {
+				res.Arrays = make(map[string][]uint32)
+			}
+			res.Arrays[a.Name] = vals
+		}
+		data = data[s.HdrLen:]
+		res.BytesConsumed += s.HdrLen
+		res.StatesVisited++
+		if s.Select == "" {
+			cur = s.Default
+			continue
+		}
+		v := res.Fields[s.Select]
+		if next, ok := s.Next[v]; ok {
+			cur = next
+		} else {
+			cur = s.Default
+		}
+	}
+	return res, nil
+}
+
+// StandardGraph returns the parse graph for this repository's packet
+// formats: base header, branching on proto into each application header's
+// fixed part. Array elements themselves are not individually extracted here;
+// the pipeline's array engine (ADCP) or per-element recirculation (RMT)
+// handles them.
+func StandardGraph() *ParseGraph {
+	g := NewParseGraph("base")
+	g.Add(&ParseState{
+		Name:   "base",
+		HdrLen: BaseHeaderLen,
+		Extracts: []FieldRef{
+			{Name: "dst_port", Offset: 0, Width: 2},
+			{Name: "src_port", Offset: 2, Width: 2},
+			{Name: "proto", Offset: 4, Width: 1},
+			{Name: "flags", Offset: 5, Width: 1},
+			{Name: "coflow_id", Offset: 6, Width: 4},
+			{Name: "flow_id", Offset: 10, Width: 4},
+			{Name: "seq", Offset: 14, Width: 4},
+			{Name: "length", Offset: 18, Width: 2},
+		},
+		Select: "proto",
+		Next: map[uint64]string{
+			uint64(ProtoML):    "ml",
+			uint64(ProtoKV):    "kv",
+			uint64(ProtoDB):    "db",
+			uint64(ProtoGraph): "graph",
+			uint64(ProtoGroup): "group",
+		},
+		Default: "", // raw: accept
+	})
+	g.Add(&ParseState{
+		Name:   "ml",
+		HdrLen: MLHeaderFixedLen,
+		Extracts: []FieldRef{
+			{Name: "ml_base", Offset: 0, Width: 4},
+			{Name: "ml_worker", Offset: 4, Width: 2},
+			{Name: "ml_count", Offset: 6, Width: 2},
+		},
+		Arrays: []ArrayRef{
+			{Name: "ml_values", CountField: "ml_count", Stride: 4},
+		},
+	})
+	g.Add(&ParseState{
+		Name:   "kv",
+		HdrLen: KVHeaderFixedLen,
+		Extracts: []FieldRef{
+			{Name: "kv_op", Offset: 0, Width: 1},
+			{Name: "kv_count", Offset: 2, Width: 2},
+		},
+		Arrays: []ArrayRef{
+			{Name: "kv_keys", CountField: "kv_count", Stride: 8},
+			{Name: "kv_values", CountField: "kv_count", Stride: 8, ElemOffset: 4},
+		},
+	})
+	g.Add(&ParseState{
+		Name:   "db",
+		HdrLen: DBHeaderFixedLen,
+		Extracts: []FieldRef{
+			{Name: "db_query", Offset: 0, Width: 2},
+			{Name: "db_stage", Offset: 2, Width: 1},
+			{Name: "db_count", Offset: 4, Width: 2},
+		},
+		Arrays: []ArrayRef{
+			{Name: "db_keys", CountField: "db_count", Stride: 8},
+		},
+	})
+	g.Add(&ParseState{
+		Name:   "graph",
+		HdrLen: GraphHeaderFixedLen,
+		Extracts: []FieldRef{
+			{Name: "graph_round", Offset: 0, Width: 2},
+			{Name: "graph_count", Offset: 2, Width: 2},
+		},
+		Arrays: []ArrayRef{
+			{Name: "graph_srcs", CountField: "graph_count", Stride: 8},
+		},
+	})
+	g.Add(&ParseState{
+		Name:   "group",
+		HdrLen: GroupHeaderFixedLen,
+		Extracts: []FieldRef{
+			{Name: "group_id", Offset: 0, Width: 4},
+			{Name: "group_chunk", Offset: 4, Width: 4},
+			{Name: "group_total", Offset: 8, Width: 4},
+			{Name: "group_paylen", Offset: 12, Width: 2},
+		},
+	})
+	return g
+}

@@ -1,0 +1,113 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/pipeline"
+)
+
+// TableHandle binds a compiled logical table to the stage memory that
+// hosts it in a live pipeline, so applications can install entries without
+// knowing the placement.
+type TableHandle struct {
+	Name        string
+	Stage       int
+	Replication int
+	mem         *mat.StageMemory
+}
+
+// Install adds an entry to the bound table (all replicas on scalar
+// targets).
+func (h *TableHandle) Install(key uint64, r mat.Result) error {
+	return h.mem.Install(key, r)
+}
+
+// Lookup matches a single key.
+func (h *TableHandle) Lookup(key uint64) (mat.Result, bool) {
+	return h.mem.Lookup(key)
+}
+
+// LookupBatch matches up to Parallelism keys in one traversal.
+func (h *TableHandle) LookupBatch(keys []uint64, results []mat.Result, hits []bool) (int, error) {
+	return h.mem.LookupBatch(keys, results, hits)
+}
+
+// Installed returns distinct logical entries.
+func (h *TableHandle) Installed() int { return h.mem.Installed() }
+
+// RegisterHandle binds a compiled register block to its stage.
+type RegisterHandle struct {
+	Name  string
+	Stage int
+	regs  *mat.RegisterFile
+}
+
+// Execute performs a stateful op on the bound block. The compiler placed
+// the block whole, so idx addresses within [0, Cells).
+func (h *RegisterHandle) Execute(op mat.RegisterOp, idx int, arg uint64) uint64 {
+	return h.regs.Execute(op, idx, arg)
+}
+
+// Peek reads a cell without an RMW.
+func (h *RegisterHandle) Peek(idx int) uint64 { return h.regs.Peek(idx) }
+
+// Binding is a placement realized on a concrete pipeline.
+type Binding struct {
+	Tables    map[string]*TableHandle
+	Registers map[string]*RegisterHandle
+}
+
+// Bind realizes a Placement on a live pipeline: it configures stage
+// memories for the placed replication factors and returns handles.
+//
+// Model restriction: a stage's replication factor is stage-global, so two
+// tables placed in one stage must agree on it; Bind rejects placements
+// that don't (the compiler's first-fit keeps same-k tables apart only by
+// SRAM, so this can legitimately fire — re-spec with explicit Deps to
+// separate them).
+func Bind(pl *Placement, p *pipeline.Pipeline) (*Binding, error) {
+	if pl.StagesUsed > p.NumStages() {
+		return nil, fmt.Errorf("program: placement needs %d stages, pipeline has %d", pl.StagesUsed, p.NumStages())
+	}
+	// Group replication needs per stage.
+	repNeed := map[int]int{}
+	names := make([]string, 0, len(pl.Tables))
+	for name := range pl.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tp := pl.Tables[name]
+		if prev, ok := repNeed[tp.Stage]; ok && prev != tp.Replication {
+			return nil, fmt.Errorf("program: stage %d hosts tables with replication %d and %d", tp.Stage, prev, tp.Replication)
+		}
+		repNeed[tp.Stage] = tp.Replication
+	}
+	b := &Binding{
+		Tables:    make(map[string]*TableHandle),
+		Registers: make(map[string]*RegisterHandle),
+	}
+	for stage, k := range repNeed {
+		mem := p.Stage(stage).Mem
+		if mem.Mode() == mat.ModeScalar && k > 1 {
+			if err := mem.ConfigureReplication(k); err != nil {
+				return nil, fmt.Errorf("program: stage %d: %w", stage, err)
+			}
+		}
+	}
+	for _, name := range names {
+		tp := pl.Tables[name]
+		b.Tables[name] = &TableHandle{
+			Name:        name,
+			Stage:       tp.Stage,
+			Replication: tp.Replication,
+			mem:         p.Stage(tp.Stage).Mem,
+		}
+	}
+	for name, stage := range pl.Registers {
+		b.Registers[name] = &RegisterHandle{Name: name, Stage: stage, regs: p.Stage(stage).Regs}
+	}
+	return b, nil
+}

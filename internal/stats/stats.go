@@ -1,0 +1,258 @@
+// Package stats provides counters, histograms, throughput meters, and the
+// plain-text table renderer used by the experiment harness to print
+// paper-style tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to use.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Gauge is a settable instantaneous value that tracks its peak.
+type Gauge struct {
+	v, peak int64
+}
+
+// Set sets the gauge.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+}
+
+// Add adjusts the gauge by d (which may be negative).
+func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Peak returns the maximum value ever set.
+func (g *Gauge) Peak() int64 { return g.peak }
+
+// Histogram accumulates observations and reports order statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.vals = append(h.vals, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return len(h.vals) }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.vals))
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (h *Histogram) Min() float64 {
+	h.sort()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.vals[0]
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (h *Histogram) Max() float64 {
+	h.sort()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.vals[len(h.vals)-1]
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted
+// observations, or 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.sort()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.vals[0]
+	}
+	if q >= 1 {
+		return h.vals[len(h.vals)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.vals[idx]
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+}
+
+// Meter converts a count accumulated over a simulated duration into a rate.
+type Meter struct {
+	Count uint64
+}
+
+// Rate returns Count per second for the given simulated duration in
+// picoseconds. A zero duration yields 0.
+func (m Meter) Rate(durationPs int64) float64 {
+	if durationPs <= 0 {
+		return 0
+	}
+	return float64(m.Count) / (float64(durationPs) / 1e12)
+}
+
+// Table renders fixed-width plain-text tables in the style of the paper.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with %v, floats with 4
+// significant digits.
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = FormatSI(v)
+		case float32:
+			s[i] = FormatSI(float64(v))
+		default:
+			s[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+3*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FormatSI renders v with an SI suffix (k, M, G, T) at 4 significant digits,
+// e.g. 12.8e12 → "12.80T". Values below 1000 render plainly.
+func FormatSI(v float64) string {
+	neg := ""
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= 1e12:
+		return fmt.Sprintf("%s%.2fT", neg, v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%s%.2fG", neg, v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%s%.2fM", neg, v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%s%.2fk", neg, v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%s%.0f", neg, v)
+	default:
+		return fmt.Sprintf("%s%.4g", neg, v)
+	}
+}

@@ -1,0 +1,122 @@
+// Package swswitch models a software (BMv2-class) switch with a
+// run-to-completion discipline (paper §1): a pool of cores each holds a
+// packet until an arbitrary-length computation finishes. Expressiveness is
+// unlimited — any Go handler may run — but throughput degrades linearly
+// with per-packet work instead of holding at line rate, which is the
+// tension the motivation experiment (E10) plots against RMT.
+package swswitch
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Config describes the software switch.
+type Config struct {
+	// Cores is the number of run-to-completion workers.
+	Cores int
+	// ClockHz is the per-core clock (a server CPU, e.g. 3 GHz).
+	ClockHz float64
+	// BaseCyclesPerPacket covers parse + classify + deliver on the fast
+	// path (DPDK-class software forwarding costs on the order of a few
+	// hundred cycles).
+	BaseCyclesPerPacket int
+	// CyclesPerOp is the marginal cost of one application operation.
+	CyclesPerOp int
+}
+
+// DefaultConfig is a 16-core 3 GHz server, 300 base cycles, 10 cycles/op.
+func DefaultConfig() Config {
+	return Config{Cores: 16, ClockHz: 3e9, BaseCyclesPerPacket: 300, CyclesPerOp: 10}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("swswitch: %d cores", c.Cores)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("swswitch: clock %v", c.ClockHz)
+	case c.BaseCyclesPerPacket <= 0:
+		return fmt.Errorf("swswitch: base cycles %d", c.BaseCyclesPerPacket)
+	case c.CyclesPerOp < 0:
+		return fmt.Errorf("swswitch: cycles/op %d", c.CyclesPerOp)
+	}
+	return nil
+}
+
+// Handler is an arbitrary per-packet computation. It returns the output
+// ports (empty = drop/consume) and how many application operations it
+// performed (for the cycle model).
+type Handler func(d *packet.Decoded) (outPorts []int, ops int)
+
+// Switch is a run-to-completion software switch.
+type Switch struct {
+	cfg Config
+
+	packets   uint64
+	cycles    uint64
+	delivered uint64
+	parseErrs uint64
+}
+
+// New builds a software switch.
+func New(cfg Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Switch{cfg: cfg}, nil
+}
+
+// Config returns the configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Process runs one packet to completion through handler and returns the
+// delivered copies. Unlike the hardware models there is no pipeline, no
+// PHV budget, no table/stage constraint — only time.
+func (s *Switch) Process(pkt *packet.Packet, handler Handler) ([]*packet.Packet, error) {
+	var d packet.Decoded
+	if err := d.DecodePacket(pkt); err != nil {
+		s.parseErrs++
+		return nil, err
+	}
+	outPorts, ops := handler(&d)
+	s.packets++
+	s.cycles += uint64(s.cfg.BaseCyclesPerPacket + ops*s.cfg.CyclesPerOp)
+	var out []*packet.Packet
+	for i, port := range outPorts {
+		p := pkt
+		if i > 0 {
+			p = pkt.Clone()
+		}
+		p.EgressPort = port
+		out = append(out, p)
+		s.delivered++
+	}
+	return out, nil
+}
+
+// Packets returns packets processed.
+func (s *Switch) Packets() uint64 { return s.packets }
+
+// Delivered returns packets delivered.
+func (s *Switch) Delivered() uint64 { return s.delivered }
+
+// ModeledCycles returns the cycles charged so far.
+func (s *Switch) ModeledCycles() uint64 { return s.cycles }
+
+// ModeledSeconds converts the charged cycles into device time, spread
+// across the core pool.
+func (s *Switch) ModeledSeconds() float64 {
+	return float64(s.cycles) / (s.cfg.ClockHz * float64(s.cfg.Cores))
+}
+
+// ThroughputPPS returns the modeled packet rate for a given per-packet
+// operation count: cores × clock / cycles-per-packet. This is the curve
+// that decays as programs grow — contrast with an RMT pipeline, which
+// stays at clock rate until the program no longer fits at all.
+func (s *Switch) ThroughputPPS(opsPerPacket int) float64 {
+	perPkt := float64(s.cfg.BaseCyclesPerPacket + opsPerPacket*s.cfg.CyclesPerOp)
+	return s.cfg.ClockHz * float64(s.cfg.Cores) / perPkt
+}

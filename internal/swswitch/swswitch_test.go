@@ -1,0 +1,114 @@
+package swswitch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func rawPkt(dst int) *packet.Packet {
+	return packet.BuildRaw(packet.Header{DstPort: uint16(dst)}, 20)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Cores: 0, ClockHz: 1, BaseCyclesPerPacket: 1},
+		{Cores: 1, ClockHz: 0, BaseCyclesPerPacket: 1},
+		{Cores: 1, ClockHz: 1, BaseCyclesPerPacket: 0},
+		{Cores: 1, ClockHz: 1, BaseCyclesPerPacket: 1, CyclesPerOp: -1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestProcessForwardAndClone(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Process(rawPkt(3), func(d *packet.Decoded) ([]int, int) {
+		return []int{int(d.Base.DstPort), 5}, 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].EgressPort != 3 || out[1].EgressPort != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0] == out[1] {
+		t.Error("copies not cloned")
+	}
+	if s.Packets() != 1 || s.Delivered() != 2 {
+		t.Error("counters wrong")
+	}
+	// Cycle accounting: base 300 + 2 ops × 10.
+	if s.ModeledCycles() != 320 {
+		t.Errorf("cycles = %d, want 320", s.ModeledCycles())
+	}
+}
+
+func TestProcessDropAndParseError(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	out, err := s.Process(rawPkt(1), func(d *packet.Decoded) ([]int, int) { return nil, 0 })
+	if err != nil || len(out) != 0 {
+		t.Errorf("drop handler: out=%v err=%v", out, err)
+	}
+	if _, err := s.Process(&packet.Packet{Data: []byte{1}}, func(d *packet.Decoded) ([]int, int) { return nil, 0 }); err == nil {
+		t.Error("truncated packet accepted")
+	}
+}
+
+func TestThroughputDecaysWithWork(t *testing.T) {
+	s, _ := New(DefaultConfig()) // 16 cores × 3 GHz
+	// Zero ops: 48e9 / 300 = 160 Mpps.
+	if got := s.ThroughputPPS(0); math.Abs(got-160e6) > 1e3 {
+		t.Errorf("base throughput = %v, want 160 Mpps", got)
+	}
+	// Run-to-completion: unlimited expressiveness, graceful 1/x decay.
+	t100 := s.ThroughputPPS(100)
+	t1000 := s.ThroughputPPS(1000)
+	if t1000 >= t100 {
+		t.Error("throughput did not decay with work")
+	}
+	// A software switch is orders of magnitude below a 1.25 GHz RMT
+	// pipeline's 1.25 Bpps even with zero ops — the §1 tension.
+	if s.ThroughputPPS(0) >= 1.25e9 {
+		t.Error("software switch should be far below line rate")
+	}
+}
+
+func TestModeledSeconds(t *testing.T) {
+	cfg := Config{Cores: 2, ClockHz: 1e9, BaseCyclesPerPacket: 100, CyclesPerOp: 0}
+	s, _ := New(cfg)
+	for i := 0; i < 10; i++ {
+		s.Process(rawPkt(0), func(d *packet.Decoded) ([]int, int) { return []int{0}, 0 })
+	}
+	// 1000 cycles over 2×1e9 Hz = 0.5 µs.
+	if got := s.ModeledSeconds(); math.Abs(got-5e-7) > 1e-12 {
+		t.Errorf("ModeledSeconds = %v", got)
+	}
+}
+
+// Property: throughput is monotonically non-increasing in ops and scales
+// linearly with cores.
+func TestThroughputProperty(t *testing.T) {
+	f := func(opsRaw uint8) bool {
+		ops := int(opsRaw)
+		one, _ := New(Config{Cores: 1, ClockHz: 1e9, BaseCyclesPerPacket: 100, CyclesPerOp: 10})
+		four, _ := New(Config{Cores: 4, ClockHz: 1e9, BaseCyclesPerPacket: 100, CyclesPerOp: 10})
+		t1 := one.ThroughputPPS(ops)
+		t2 := one.ThroughputPPS(ops + 1)
+		return t2 <= t1 && math.Abs(four.ThroughputPPS(ops)-4*t1) < 1e-6*t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package tm
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Item is a scheduled element: a packet with a programmable rank. Lower
+// ranks dequeue first; ties dequeue in arrival order.
+type Item struct {
+	Pkt  *packet.Packet
+	Rank uint64
+	seq  uint64
+	idx  int
+}
+
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Rank != h[j].Rank {
+		return h[i].Rank < h[j].Rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// PIFO is a push-in-first-out queue: elements enter with an arbitrary rank
+// and always leave smallest-rank-first. It is the hardware primitive behind
+// programmable packet scheduling and the ADCP first TM's application
+// semantics.
+type PIFO struct {
+	h   itemHeap
+	seq uint64
+	cap int // 0 = unbounded
+}
+
+// NewPIFO returns a PIFO holding at most capacity items (0 = unbounded).
+func NewPIFO(capacity int) *PIFO { return &PIFO{cap: capacity} }
+
+// Push inserts a packet with rank. It returns false when the PIFO is full.
+func (p *PIFO) Push(pkt *packet.Packet, rank uint64) bool {
+	if p.cap > 0 && len(p.h) >= p.cap {
+		return false
+	}
+	it := &Item{Pkt: pkt, Rank: rank, seq: p.seq}
+	p.seq++
+	heap.Push(&p.h, it)
+	return true
+}
+
+// Pop removes and returns the smallest-rank packet, or nil when empty.
+func (p *PIFO) Pop() (*packet.Packet, uint64, bool) {
+	if len(p.h) == 0 {
+		return nil, 0, false
+	}
+	it := heap.Pop(&p.h).(*Item)
+	return it.Pkt, it.Rank, true
+}
+
+// Len returns the number of queued items.
+func (p *PIFO) Len() int { return len(p.h) }
+
+// MergeTM merges per-flow streams that are individually sorted by rank,
+// emitting a globally sorted stream — the paper's §3.1 example of extended
+// first-TM semantics ("it could keep a sort order while it merges flows
+// that are themselves sorted"). Unlike a PIFO it enforces, per flow, that
+// pushed ranks are non-decreasing, which is what licenses the O(log F)
+// head-of-flow merge.
+type MergeTM struct {
+	flows map[uint64]*flowQueue
+	heads headHeap // one entry per non-empty flow: its head item
+	seq   uint64
+}
+
+type flowQueue struct {
+	key      uint64
+	items    []mergeItem
+	lastRank uint64
+	pushed   bool
+	inHeap   bool
+}
+
+type mergeItem struct {
+	pkt  *packet.Packet
+	rank uint64
+}
+
+type mergeHead struct {
+	fq   *flowQueue
+	rank uint64
+	seq  uint64
+}
+
+type headHeap []mergeHead
+
+func (h headHeap) Len() int { return len(h) }
+func (h headHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h headHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *headHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
+func (h *headHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewMergeTM returns an empty merge scheduler.
+func NewMergeTM() *MergeTM {
+	return &MergeTM{flows: make(map[uint64]*flowQueue)}
+}
+
+// Push appends a packet to flow's stream. Ranks within one flow must be
+// non-decreasing; a regression returns an error (the sender violated the
+// sortedness contract the merge depends on).
+func (m *MergeTM) Push(flow uint64, pkt *packet.Packet, rank uint64) error {
+	fq := m.flows[flow]
+	if fq == nil {
+		fq = &flowQueue{key: flow}
+		m.flows[flow] = fq
+	}
+	if fq.pushed && rank < fq.lastRank {
+		return fmt.Errorf("tm: flow %d rank regressed %d -> %d", flow, fq.lastRank, rank)
+	}
+	fq.lastRank = rank
+	fq.pushed = true
+	fq.items = append(fq.items, mergeItem{pkt: pkt, rank: rank})
+	if !fq.inHeap {
+		m.pushHead(fq)
+	}
+	return nil
+}
+
+func (m *MergeTM) pushHead(fq *flowQueue) {
+	fq.inHeap = true
+	heap.Push(&m.heads, mergeHead{fq: fq, rank: fq.items[0].rank, seq: m.seq})
+	m.seq++
+}
+
+// Pop removes and returns the globally smallest-rank packet across all
+// flows, with its flow key.
+func (m *MergeTM) Pop() (pkt *packet.Packet, flow uint64, rank uint64, ok bool) {
+	if len(m.heads) == 0 {
+		return nil, 0, 0, false
+	}
+	h := heap.Pop(&m.heads).(mergeHead)
+	owner := h.fq
+	head := owner.items[0]
+	owner.items = owner.items[1:]
+	owner.inHeap = false
+	if len(owner.items) > 0 {
+		m.pushHead(owner)
+	}
+	return head.pkt, owner.key, head.rank, true
+}
+
+// Len returns total queued packets across flows.
+func (m *MergeTM) Len() int {
+	n := 0
+	for _, fq := range m.flows {
+		n += len(fq.items)
+	}
+	return n
+}
+
+// Flows returns the number of flows that have ever pushed.
+func (m *MergeTM) Flows() int { return len(m.flows) }

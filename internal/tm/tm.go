@@ -1,0 +1,131 @@
+// Package tm implements the traffic managers of both architectures.
+//
+// An RMT switch has one traffic manager (TM): a shared-memory,
+// output-buffered scheduler that moves packets from ingress pipelines to
+// egress pipelines (paper §2). ADCP adds a second TM (§3.1), and — because
+// the first TM now sits in front of the global partitioned area — upgrades
+// it from a pure scheduler to an application-defined element that can
+// partition coflow data across central pipelines (by hash or range) and
+// merge per-flow sorted streams while preserving order. This package
+// provides all of those building blocks:
+//
+//   - SharedMemoryTM: classic output-buffered scheduler with a byte budget.
+//   - PIFO: a push-in-first-out programmable priority queue (Sivaraman et
+//     al.), the mechanism behind "expanding the semantics of what we
+//     consider scheduling in the TM".
+//   - MergeTM: order-preserving merge of per-flow sorted streams.
+//   - HashPartitioner / RangePartitioner: application-defined placement of
+//     data onto central pipelines.
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// SharedMemoryTM is an output-buffered scheduler backed by one shared
+// memory pool: per-output FIFO queues that together may hold at most
+// bufferBytes of packet data. Enqueueing beyond the budget drops the packet
+// (tail drop), which the caller observes and the stats record.
+type SharedMemoryTM struct {
+	queues    [][]*packet.Packet
+	bufBytes  int
+	usedBytes int
+
+	enqueued  uint64
+	dequeued  uint64
+	dropped   uint64
+	peakBytes int
+}
+
+// NewSharedMemoryTM builds a TM with numOutputs queues sharing bufferBytes.
+func NewSharedMemoryTM(numOutputs, bufferBytes int) *SharedMemoryTM {
+	if numOutputs <= 0 || bufferBytes <= 0 {
+		panic("tm: non-positive TM geometry")
+	}
+	return &SharedMemoryTM{
+		queues:   make([][]*packet.Packet, numOutputs),
+		bufBytes: bufferBytes,
+	}
+}
+
+// Outputs returns the number of output queues.
+func (t *SharedMemoryTM) Outputs() int { return len(t.queues) }
+
+// Enqueue appends p to output queue out. It returns false (and drops the
+// packet) when the shared buffer cannot hold it.
+func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
+	if out < 0 || out >= len(t.queues) {
+		panic(fmt.Sprintf("tm: enqueue to output %d of %d", out, len(t.queues)))
+	}
+	n := p.WireLen()
+	if t.usedBytes+n > t.bufBytes {
+		t.dropped++
+		return false
+	}
+	t.queues[out] = append(t.queues[out], p)
+	t.usedBytes += n
+	if t.usedBytes > t.peakBytes {
+		t.peakBytes = t.usedBytes
+	}
+	t.enqueued++
+	return true
+}
+
+// EnqueueMulticast clones p onto every listed output (switch-initiated
+// group transfer, Table 1 last row). It returns how many copies were
+// accepted.
+func (t *SharedMemoryTM) EnqueueMulticast(outs []int, p *packet.Packet) int {
+	accepted := 0
+	for i, out := range outs {
+		q := p
+		if i > 0 {
+			q = p.Clone()
+		}
+		if t.Enqueue(out, q) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// Dequeue removes and returns the head of queue out, or nil when empty.
+func (t *SharedMemoryTM) Dequeue(out int) *packet.Packet {
+	q := t.queues[out]
+	if len(q) == 0 {
+		return nil
+	}
+	p := q[0]
+	t.queues[out] = q[1:]
+	t.usedBytes -= p.WireLen()
+	t.dequeued++
+	return p
+}
+
+// QueueLen returns the number of packets waiting on output out.
+func (t *SharedMemoryTM) QueueLen(out int) int { return len(t.queues[out]) }
+
+// Occupancy returns the bytes currently buffered.
+func (t *SharedMemoryTM) Occupancy() int { return t.usedBytes }
+
+// PeakOccupancy returns the high-water mark in bytes.
+func (t *SharedMemoryTM) PeakOccupancy() int { return t.peakBytes }
+
+// Enqueued returns accepted packets.
+func (t *SharedMemoryTM) Enqueued() uint64 { return t.enqueued }
+
+// Dequeued returns drained packets.
+func (t *SharedMemoryTM) Dequeued() uint64 { return t.dequeued }
+
+// Dropped returns tail-dropped packets.
+func (t *SharedMemoryTM) Dropped() uint64 { return t.dropped }
+
+// Pending returns total packets buffered across all queues.
+func (t *SharedMemoryTM) Pending() int {
+	n := 0
+	for _, q := range t.queues {
+		n += len(q)
+	}
+	return n
+}
