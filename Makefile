@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench experiments tables examples cover clean
+.PHONY: all build test bench experiments tables examples cover clean ci
 
 all: build test
 
@@ -30,6 +30,20 @@ examples:
 	go run ./examples/graphmining
 	go run ./examples/groupcomm
 	go run ./examples/scheduler
+
+# What .github/workflows/ci.yml runs: formatting, vet, build, the race
+# detector, and a smoke run of the experiment CLI's metrics export.
+ci:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	go build ./...
+	go test -race ./...
+	go run ./cmd/adcpsim -exp table1 -metrics /tmp/m.json > /dev/null
+	@python3 -c 'import json; s = json.load(open("/tmp/m.json")); \
+		assert s["schema"] == "adcp-metrics/1"; \
+		assert any(m["name"].startswith("exp.table1.") for m in s["metrics"]); \
+		print("metrics smoke ok:", len(s["metrics"]), "series")'
 
 cover:
 	go test -cover ./...

@@ -23,6 +23,7 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/analytic"
@@ -35,7 +36,44 @@ import (
 	"repro/internal/packet"
 	"repro/internal/rmt"
 	"repro/internal/swswitch"
+	"repro/internal/telemetry"
 )
+
+// TestMain adds a machine-readable export path to the benchmark harness:
+// with BENCH_JSON=<path> set, every experiment headline metric recorded
+// during the run (the same exp.* series `adcpsim -metrics` exports) is
+// written to <path> as one deterministic JSON document. Example:
+//
+//	BENCH_JSON=BENCH_table1.json go test -run '^$' -bench BenchmarkTable1Apps .
+func TestMain(m *testing.M) {
+	path := os.Getenv("BENCH_JSON")
+	if path != "" {
+		telemetry.Default = &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	}
+	code := m.Run()
+	if path != "" {
+		if err := writeBenchMetrics(path, telemetry.Default.Reg()); err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		telemetry.Default = nil
+	}
+	os.Exit(code)
+}
+
+func writeBenchMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // BenchmarkTable1Apps runs the four coflow applications end-to-end on both
 // architectures (E1). Reported metrics: RMT-vs-ADCP CCT ratio per app.

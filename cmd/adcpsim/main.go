@@ -6,31 +6,34 @@
 //
 //	adcpsim -exp all
 //	adcpsim -exp keyrate
-//	adcpsim -exp table1,convergence
+//	adcpsim -exp table1,convergence -metrics out.json -trace out.trace.json
+//
+// With -metrics, every experiment's headline numbers are exported as one
+// deterministic JSON document (byte-identical across runs). With -trace,
+// the instrumented simulation paths emit sim-time events in Chrome
+// trace-event format, viewable at ui.perfetto.dev. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/telemetry"
 )
 
 type experiment struct {
 	name string
 	desc string
-	run  func() error
+	run  func(w io.Writer) error
 }
 
-func main() {
-	expFlag := flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
-
-	exps := []experiment{
+func defaultExperiments() []experiment {
+	return []experiment{
 		{"table1", "Table 1: coflow applications end-to-end, RMT vs ADCP", runTable1},
 		{"table2", "Table 2: port multiplexing poor scalability", runTable2},
 		{"table3", "Table 3: port demultiplexing examples", runTable3},
@@ -48,16 +51,37 @@ func main() {
 		{"cachehit", "cache hit rate vs size under Zipf GETs", runCacheHit},
 		{"saturation", "recirculation tax as completion time under load", runSaturation},
 	}
+}
+
+func main() {
+	os.Exit(run(defaultExperiments(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI, parameterized for tests: it returns the process
+// exit code instead of calling os.Exit.
+func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adcpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expFlag := fs.String("exp", "", "comma-separated experiment ids, or 'all'")
+	list := fs.Bool("list", false, "list experiments and exit")
+	metricsPath := fs.String("metrics", "", "write the metrics registry as JSON to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file (Perfetto-viewable) to this file")
+	traceJSONLPath := fs.String("trace-jsonl", "", "write the trace as JSON lines (exact picosecond timestamps) to this file")
+	traceDetail := fs.Bool("trace-detail", false, "trace per-stage pipeline events too (large traces)")
+	progress := fs.Bool("progress", false, "print each experiment id to stderr as it starts")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list || *expFlag == "" {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range exps {
-			fmt.Printf("  %-12s %s\n", e.name, e.desc)
+			fmt.Fprintf(stdout, "  %-12s %s\n", e.name, e.desc)
 		}
 		if *expFlag == "" && !*list {
-			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+			fmt.Fprintln(stdout, "\nrun with -exp <id>[,<id>...] or -exp all")
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -76,179 +100,248 @@ func main() {
 	}
 	for n := range want {
 		if !known[n] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", n)
+			return 2
 		}
 	}
-	ran := 0
-	for _, e := range exps {
-		if all || want[e.name] {
-			if err := e.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-				os.Exit(1)
-			}
-			fmt.Println()
-			ran++
+
+	// Install the process-wide telemetry hub before any experiment builds a
+	// network, so netsim.New can attach switches to it.
+	var tel *telemetry.Telemetry
+	if *metricsPath != "" || *tracePath != "" || *traceJSONLPath != "" {
+		tel = &telemetry.Telemetry{Detail: *traceDetail}
+		if *metricsPath != "" {
+			tel.Metrics = telemetry.NewRegistry()
 		}
+		if *tracePath != "" || *traceJSONLPath != "" {
+			tel.Tracer = telemetry.NewTracer()
+		}
+		telemetry.Default = tel
+		defer func() { telemetry.Default = nil }()
+	}
+
+	// Run every selected experiment even when an earlier one fails: a broken
+	// table must not hide whether the rest still reproduce. Failures are
+	// reported per experiment id and make the whole run exit non-zero.
+	ran := 0
+	var failed []string
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		if *progress {
+			fmt.Fprintf(stderr, "running %s...\n", e.name)
+		}
+		if err := e.run(stdout); err != nil {
+			fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.name, err)
+			failed = append(failed, e.name)
+		} else {
+			fmt.Fprintln(stdout)
+		}
+		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "no experiments selected")
+		return 2
 	}
+
+	if tel != nil {
+		if code := writeOutputs(tel, *metricsPath, *tracePath, *traceJSONLPath, stderr); code != 0 {
+			return code
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "failed experiments: %s\n", strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
 }
 
-func runTable1() error {
+// writeOutputs serializes the telemetry sinks to the requested files.
+func writeOutputs(tel *telemetry.Telemetry, metricsPath, tracePath, traceJSONLPath string, stderr io.Writer) int {
+	write := func(path, what string, fn func(io.Writer) error) int {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", what, err)
+			return 1
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", what, err)
+			return 1
+		}
+		return 0
+	}
+	if metricsPath != "" {
+		if c := write(metricsPath, "metrics", tel.Metrics.WriteJSON); c != 0 {
+			return c
+		}
+	}
+	if tracePath != "" {
+		if c := write(tracePath, "trace", tel.Tracer.WriteChromeTrace); c != 0 {
+			return c
+		}
+	}
+	if traceJSONLPath != "" {
+		if c := write(traceJSONLPath, "trace-jsonl", tel.Tracer.WriteJSONL); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func runTable1(w io.Writer) error {
 	t, _, err := experiments.Table1()
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runTable2() error {
+func runTable2(w io.Writer) error {
 	t, _ := experiments.Table2()
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runTable3() error {
+func runTable3(w io.Writer) error {
 	t, _ := experiments.Table3()
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runConvergence() error {
+func runConvergence(w io.Writer) error {
 	t, _, err := experiments.Convergence(experiments.DefaultConvergenceConfig(), nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runReplication() error {
+func runReplication(w io.Writer) error {
 	t, _, err := experiments.Replication(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runWalk() error {
+func runWalk(w io.Writer) error {
 	t, _, err := experiments.Walk()
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runGlobalArea() error {
+func runGlobalArea(w io.Writer) error {
 	t, _, err := experiments.GlobalArea()
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runKeyRate() error {
+func runKeyRate(w io.Writer) error {
 	t, _, err := experiments.KeyRate(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runFeasibility() error {
+func runFeasibility(w io.Writer) error {
 	t, _, err := experiments.MultiClock(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
-	fmt.Println()
+	fmt.Fprint(w, t)
+	fmt.Fprintln(w)
 	ct, _, _, err := experiments.Congestion(floorplan.DefaultFloorplanParams())
 	if err != nil {
 		return err
 	}
-	fmt.Print(ct)
-	fmt.Println()
+	fmt.Fprint(w, ct)
+	fmt.Fprintln(w)
 	pt, _, err := experiments.Power()
 	if err != nil {
 		return err
 	}
-	fmt.Print(pt)
-	fmt.Println()
+	fmt.Fprint(w, pt)
+	fmt.Fprintln(w)
 	pc, _, err := experiments.ParseCost()
 	if err != nil {
 		return err
 	}
-	fmt.Print(pc)
+	fmt.Fprint(w, pc)
 	return nil
 }
 
-func runTension() error {
+func runTension(w io.Writer) error {
 	t, _, err := experiments.Tension(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runLandscape() error {
+func runLandscape(w io.Writer) error {
 	t, _, err := experiments.Landscape()
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runCoflowSched() error {
+func runCoflowSched(w io.Writer) error {
 	t, _, err := experiments.CoflowSched(experiments.DefaultCoflowSchedConfig())
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runDemux() error {
+func runDemux(w io.Writer) error {
 	t, _, err := experiments.DemuxSweep(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runBuffer() error {
+func runBuffer(w io.Writer) error {
 	t, _, err := experiments.BufferSweep(nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runCacheHit() error {
+func runCacheHit(w io.Writer) error {
 	t, _, err := experiments.CacheHit(nil, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func runSaturation() error {
+func runSaturation(w io.Writer) error {
 	t, _, err := experiments.Saturation()
 	if err != nil {
 		return err
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }

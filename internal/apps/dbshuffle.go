@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mat"
@@ -73,7 +74,13 @@ func dbFlush(st *pipeline.Stage, ctx *pipeline.Context, cfg DBConfig, partition,
 		d := cfg.destOf(key)
 		perDest[d] = append(perDest[d], packet.DBTuple{Key: key, Measure: uint32(count)})
 	}
-	for dest, tuples := range perDest {
+	dests := make([]int, 0, len(perDest))
+	for d := range perDest {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests) // map order would make the emission order nondeterministic
+	for _, dest := range dests {
+		tuples := perDest[dest]
 		for len(tuples) > 0 {
 			n := cfg.TuplesPerPacket
 			if n > len(tuples) {

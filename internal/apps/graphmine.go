@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mat"
@@ -53,12 +54,17 @@ func graphFilter(st *pipeline.Stage, ctx *pipeline.Context, cfg GraphConfig) err
 			st.Regs.Execute(mat.RegAdd, 0, 1) // matched-edge counter
 		}
 	}
-	for owner, edges := range perOwner {
+	owners := make([]int, 0, len(perOwner))
+	for o := range perOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners) // map order would make the emission order nondeterministic
+	for _, owner := range owners {
 		res := packet.Build(packet.Header{
 			Proto:    packet.ProtoGraph,
 			CoflowID: ctx.Decoded.Base.CoflowID,
 			Flags:    packet.FlagFromSwch,
-		}, &packet.GraphHeader{Round: g.Round, Edges: edges})
+		}, &packet.GraphHeader{Round: g.Round, Edges: perOwner[owner]})
 		ctx.Emit(res, owner)
 	}
 	ctx.Verdict = pipeline.VerdictConsume

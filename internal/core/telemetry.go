@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Instrument attaches the ADCP switch to a telemetry sink: switch counters
+// become lazily-evaluated registry metrics, both traffic managers report
+// buffer occupancy and drops (labeled tm=1 / tm=2), and — when a tracer is
+// present — the ingress, central, and egress pipelines route their Observer
+// events into sim-time trace tracks. now supplies the surrounding network's
+// clock; nil means all trace events land at t=0.
+//
+// Instrument installs pipeline and TM observers, replacing any the caller
+// set earlier; callers that need their own observers should install them
+// after Instrument.
+func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
+	if !tel.Enabled() {
+		return
+	}
+	if now == nil {
+		now = func() sim.Time { return 0 }
+	}
+	reg, tr := tel.Reg(), tel.Trace()
+	inst := "0"
+	if reg != nil {
+		inst = reg.NextInstance("adcp")
+	}
+	ls := []telemetry.Label{telemetry.L("arch", "adcp"), telemetry.L("instance", inst)}
+	var occ1, occ2 *telemetry.Gauge
+	if reg != nil {
+		reg.ObserveFunc("switch.delivered_pkts", func() float64 { return float64(s.delivered) }, ls...)
+		reg.ObserveFunc("switch.delivered_bytes", func() float64 { return float64(s.deliveredBytes) }, ls...)
+		reg.ObserveFunc("switch.consumed_pkts", func() float64 { return float64(s.consumed) }, ls...)
+		reg.ObserveFunc("switch.bad_routes", func() float64 { return float64(s.badRoutes) }, ls...)
+		reg.ObserveFunc("switch.ingress_traversals", func() float64 { return float64(s.IngressTraversals()) }, ls...)
+		reg.ObserveFunc("switch.central_traversals", func() float64 { return float64(s.CentralTraversals()) }, ls...)
+		occ1 = telemetry.InstrumentTM(reg, s.tm1, ls, "1")
+		occ2 = telemetry.InstrumentTM(reg, s.tm2, ls, "2")
+	}
+	pid := tr.NewProcess("adcp/" + inst)
+	tm1TID := tr.NewThread(pid, "tm1")
+	tm2TID := tr.NewThread(pid, "tm2")
+	if obs := telemetry.TMObserver(occ1, tr, tel.Detail, now, "tm1", pid, tm1TID); obs != nil {
+		s.tm1.SetObserver(obs)
+	}
+	if obs := telemetry.TMObserver(occ2, tr, tel.Detail, now, "tm2", pid, tm2TID); obs != nil {
+		s.tm2.SetObserver(obs)
+	}
+	if tr != nil {
+		hz := s.cfg.Pipe.ClockHz
+		attach := func(kind string, ps []*pipeline.Pipeline) {
+			for i, p := range ps {
+				tid := tr.NewThread(pid, fmt.Sprintf("%s%d", kind, i))
+				p.SetObserver(telemetry.PipelineObserver(tr, tel.Detail, now, hz, pid, tid))
+			}
+		}
+		attach("ingress", s.ingress)
+		attach("central", s.central)
+		attach("egress", s.egress)
+	}
+}

@@ -80,6 +80,10 @@ func BufferSweep(bufferSizes []int) (*stats.Table, []BufferRow, error) {
 			row.LossRate = float64(row.Dropped) / total
 		}
 		rows = append(rows, row)
+		bl := lbl("buffer_bytes", li(buf))
+		record("buffer.loss_rate", row.LossRate, bl)
+		record("buffer.peak_bytes", float64(row.PeakBytes), bl)
+		record("buffer.delivered_pkts", float64(row.Delivered), bl)
 		t.AddRow(
 			fmt.Sprintf("%d", buf),
 			fmt.Sprintf("%d", row.Delivered),

@@ -93,6 +93,8 @@ func CacheHit(cacheSizes []int, skews []float64) (*stats.Table, []CacheHitRow, e
 				row.HitRate = float64(row.Hits) / float64(total)
 			}
 			rows = append(rows, row)
+			record("cachehit.hit_rate", row.HitRate,
+				lbl("entries", li(size)), lbl("skew", lf(skew)))
 			t.AddRow(
 				fmt.Sprintf("%d", size),
 				fmt.Sprintf("%.1f", skew),

@@ -111,6 +111,9 @@ func CoflowSched(cfg CoflowSchedConfig) (*stats.Table, []CoflowSchedResult, erro
 		"discipline", "mean CCT", "max CCT (elephant)",
 	)
 	for _, r := range results {
+		dl := lbl("discipline", r.Discipline)
+		record("coflowsched.mean_cct_ps", float64(r.MeanCCT), dl)
+		record("coflowsched.max_cct_ps", float64(r.MaxCCT), dl)
 		t.AddRow(r.Discipline, r.MeanCCT.String(), r.MaxCCT.String())
 	}
 	return t, results, nil

@@ -94,6 +94,11 @@ func Convergence(cfg ConvergenceConfig, workerCounts []int) (*stats.Table, []Con
 			PinnedPortFraction:  1.0 / float64(cfg.Pipelines),
 		}
 		rows = append(rows, row)
+		wl := lbl("workers", li(w))
+		record("convergence.rmt_recirc_traversals", float64(row.RMTRecircTraversals), wl)
+		record("convergence.rmt_ingress_overhead", row.RMTOverhead, wl)
+		record("convergence.rmt_cct_ps", float64(row.RMTCCT), wl)
+		record("convergence.adcp_cct_ps", float64(row.ADCPCCT), wl)
 		t.AddRow(
 			fmt.Sprintf("%d", w),
 			fmt.Sprintf("%d", row.RMTRecircTraversals),

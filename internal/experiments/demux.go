@@ -71,6 +71,9 @@ func DemuxSweep(factors []int) (*stats.Table, []DemuxRow, error) {
 			MeasuredSpread:   spread,
 		}
 		rows = append(rows, row)
+		ml := lbl("m", li(m))
+		record("demux.required_clock_ghz", row.RequiredClockGHz, ml)
+		record("demux.ingress_pipelines", float64(row.IngressPipelines), ml)
 		t.AddRow(
 			fmt.Sprintf("1:%d", m),
 			fmt.Sprintf("%.2f", analytic.RoundGHz(freq)),

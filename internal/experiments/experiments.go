@@ -23,6 +23,7 @@ func Table2() (*stats.Table, []analytic.Table2Row) {
 		"Switch Tput", "port speed (Gbps)", "# pipelines", "ports/pipeline", "min pkt (B)", "pipeline freq (GHz)",
 	)
 	for _, r := range rows {
+		record("table2.pipeline_freq_ghz", r.FreqGHz, lbl("tput_gbps", lf(r.ThroughputGbps)))
 		t.AddRow(
 			fmt.Sprintf("%g Gbps", r.ThroughputGbps),
 			fmt.Sprintf("%g", r.PortSpeedGbps),
@@ -43,6 +44,8 @@ func Table3() (*stats.Table, []analytic.Table3Row) {
 		"port speed (Gbps)", "ports/pipeline", "min pkt (B)", "pipeline freq (GHz)",
 	)
 	for _, r := range rows {
+		record("table3.pipeline_freq_ghz", r.FreqGHz,
+			lbl("port_gbps", lf(r.PortSpeedGbps)), lbl("ports_per_pipeline", lf(r.PortsPerPipeline)))
 		t.AddRow(
 			fmt.Sprintf("%g", r.PortSpeedGbps),
 			fmt.Sprintf("%g", r.PortsPerPipeline),

@@ -54,6 +54,9 @@ func MultiClock(widths []int) (*stats.Table, []MultiClockRow, error) {
 			PipelineCycles:  cyc,
 		}
 		rows = append(rows, row)
+		wl := lbl("width", li(w))
+		record("multiclock.memory_clock_ghz", row.MemoryClockGHz, wl)
+		record("multiclock.pipeline_cycles", float64(row.PipelineCycles), wl)
 		t.AddRow(
 			fmt.Sprintf("%d", w),
 			fmt.Sprintf("%d×", row.MemoryClockMult),
@@ -96,6 +99,9 @@ func Power() (*stats.Table, []PowerRow, error) {
 			RelativeArea:  analytic.RelativeGateArea(f, 1.62e9),
 		}
 		rows = append(rows, row)
+		dl := lbl("design", row.Design)
+		record("power.relative_power", row.RelativePower, dl)
+		record("power.relative_area", row.RelativeArea, dl)
 		t.AddRow(row.Design,
 			fmt.Sprintf("%.2f", row.PipelineGHz),
 			fmt.Sprintf("%d", row.Pipelines),
@@ -156,6 +162,8 @@ func ParseCost() (*stats.Table, []ParseCostRow, error) {
 			BytesConsumed: res.BytesConsumed,
 		}
 		rows = append(rows, row)
+		record("parsecost.states_visited", float64(row.StatesVisited),
+			lbl("proto", row.Proto), lbl("elems", li(row.PayloadElems)))
 		t.AddRow(row.Proto, fmt.Sprintf("%d", row.PayloadElems),
 			fmt.Sprintf("%d", row.StatesVisited), fmt.Sprintf("%d", row.BytesConsumed))
 	}
@@ -173,6 +181,10 @@ func Congestion(params floorplan.ADCPFloorplanParams) (*stats.Table, *floorplan.
 			params.GridW, params.GridH, params.WiresPerBus),
 		"floorplan", "peak congestion", "mean congestion", "overflowed cells",
 	)
+	record("congestion.peak", mono.PeakCongestion, lbl("floorplan", "monolithic"))
+	record("congestion.overflowed_cells", float64(mono.Overflowed), lbl("floorplan", "monolithic"))
+	record("congestion.peak", inter.PeakCongestion, lbl("floorplan", "interleaved"))
+	record("congestion.overflowed_cells", float64(inter.Overflowed), lbl("floorplan", "interleaved"))
 	t.AddRow("monolithic TMs", fmt.Sprintf("%.3f", mono.PeakCongestion),
 		fmt.Sprintf("%.4f", mono.MeanCongestion), fmt.Sprintf("%d", mono.Overflowed))
 	t.AddRow("interleaved TM slices", fmt.Sprintf("%.3f", inter.PeakCongestion),

@@ -86,6 +86,10 @@ func GlobalArea() (*stats.Table, *GlobalAreaReport, error) {
 	rep.MergeOrdered = ordered
 	rep.MergedCount = count
 
+	record("globalarea.ports_reached", float64(rep.PortsReached))
+	record("globalarea.cross_pipeline_deliveries", float64(rep.CrossPipelineDeliveries))
+	record("globalarea.merge_ordered", b2f(rep.MergeOrdered))
+
 	t := stats.NewTable(
 		"Figure 5: the global partitioned area decouples state placement from output ports",
 		"property", "value",

@@ -77,6 +77,10 @@ func KeyRate(widths []int) (*stats.Table, []KeyRateRow, error) {
 		row.MeasuredCyclesADCP = int(adcpMem.Cycles())
 
 		rows = append(rows, row)
+		wl := lbl("width", li(w))
+		record("keyrate.speedup", row.Speedup, wl)
+		record("keyrate.rmt_keys_per_s", row.RMTKeyRate, wl)
+		record("keyrate.adcp_keys_per_s", row.ADCPKeyRate, wl)
 		t.AddRow(
 			fmt.Sprintf("%d", w),
 			fmt.Sprintf("%d", row.RMTPasses),

@@ -80,6 +80,7 @@ func Landscape() (*stats.Table, []LandscapeRow, error) {
 		return "no"
 	}
 	for _, r := range rows {
+		record("landscape.pps_at_8ops", r.PPSAt8Ops, lbl("arch", r.Arch))
 		maxOps := "unbounded"
 		if r.MaxOps > 0 {
 			maxOps = fmt.Sprintf("%d", r.MaxOps)

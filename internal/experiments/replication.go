@@ -74,6 +74,11 @@ func Replication(keysPerPacket []int) (*stats.Table, []ReplicationRow, error) {
 		row.ADCPMeasuredCap = acap
 
 		rows = append(rows, row)
+		kl := lbl("keys_per_pkt", li(k))
+		record("replication.rmt_effective_entries", float64(row.RMTEffective), kl)
+		record("replication.adcp_effective_entries", float64(row.ADCPEffective), kl)
+		record("replication.rmt_measured_cap", float64(row.RMTMeasuredCap), kl)
+		record("replication.adcp_measured_cap", float64(row.ADCPMeasuredCap), kl)
 		t.AddRow(
 			fmt.Sprintf("%d", k),
 			fmt.Sprintf("%d", row.RMTReplication),

@@ -54,6 +54,10 @@ func Saturation() (*stats.Table, []SaturationRow, error) {
 		"architecture", "ingress traversals", "recirculated", "coflow completion",
 	)
 	for _, r := range rows {
+		al := lbl("arch", r.Arch)
+		record("saturation.cct_ps", float64(r.CCT), al)
+		record("saturation.ingress_traversals", float64(r.Traversals), al)
+		record("saturation.recirc_traversals", float64(r.Recirc), al)
 		t.AddRow(r.Arch, fmt.Sprintf("%d", r.Traversals), fmt.Sprintf("%d", r.Recirc), r.CCT.String())
 	}
 	return t, rows, nil

@@ -60,6 +60,10 @@ func Table1() (*stats.Table, []Table1Row, error) {
 		"application", "RMT CCT", "ADCP CCT", "RMT recirc traversals", "RMT SRAM", "ADCP SRAM", "RMT restructuring",
 	)
 	for _, r := range rows {
+		al := lbl("app", r.App)
+		record("table1.rmt_cct_ps", float64(r.RMTCCT), al)
+		record("table1.adcp_cct_ps", float64(r.ADCPCCT), al)
+		record("table1.rmt_recirc_traversals", float64(r.RMTRecirc), al)
 		t.AddRow(r.App, r.RMTCCT.String(), r.ADCPCCT.String(),
 			fmt.Sprintf("%d", r.RMTRecirc), fmt.Sprintf("%d", r.RMTSRAM),
 			fmt.Sprintf("%d", r.ADCPSRAM), r.Note)

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// record registers one headline number of an experiment on the process-wide
+// telemetry hub; a no-op when no hub is installed (tests and library use).
+// Names follow exp.<experiment>.<metric>; labels carry the sweep
+// coordinates, so every point of a sweep exports as its own series. Values
+// are Set (not accumulated): re-running an experiment in one process is
+// idempotent, which keeps `adcpsim -exp all` output byte-identical no
+// matter how the experiment list is composed.
+func record(name string, v float64, labels ...telemetry.Label) {
+	if reg := telemetry.Default.Reg(); reg != nil {
+		reg.Set("exp."+name, v, labels...)
+	}
+}
+
+// lbl builds a metric label without the call site importing telemetry.
+func lbl(key, value string) telemetry.Label { return telemetry.L(key, value) }
+
+func li(v int) string     { return fmt.Sprintf("%d", v) }
+func lf(v float64) string { return fmt.Sprintf("%g", v) }
+
+// b2f renders a boolean check as a 0/1 metric.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

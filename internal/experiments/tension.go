@@ -71,6 +71,11 @@ func Tension(opCounts []int) (*stats.Table, []TensionRow, error) {
 			row.ADCPPPS = adcpClock
 		}
 		rows = append(rows, row)
+		ol := lbl("ops", li(ops))
+		record("tension.software_pps", row.SoftwarePPS, ol)
+		record("tension.rmt_pps", row.RMTPPS, ol)
+		record("tension.drmt_pps", row.DRMTPPS, ol)
+		record("tension.adcp_pps", row.ADCPPPS, ol)
 		cell := func(feasible bool, pps float64) string {
 			if !feasible {
 				return "infeasible"

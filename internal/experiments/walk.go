@@ -57,6 +57,10 @@ func Walk() (*stats.Table, *WalkReport, error) {
 		rep.EgressPort = out[0].EgressPort
 	}
 
+	record("walk.delivered_pkts", float64(rep.Delivered))
+	record("walk.tm1_enqueued_pkts", float64(rep.TM1Enqueued))
+	record("walk.tm2_enqueued_pkts", float64(rep.TM2Enqueued))
+
 	t := stats.NewTable(
 		"Figure 4: one packet through the ADCP regions (port 3 → port 9)",
 		"region", "instance", "note",

@@ -17,6 +17,7 @@ import (
 	"repro/internal/coflow"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // SwitchModel is any switch that can synchronously process one packet and
@@ -55,6 +56,15 @@ type Config struct {
 // service-rate model uses the per-packet traversal delta as its cost.
 type TraversalCounter interface {
 	IngressTraversals() uint64
+}
+
+// Instrumentable is implemented by switch models that can attach themselves
+// to a telemetry sink (both rmt.Switch and core.Switch do). New detects it
+// and wires the switch to telemetry.Default, so harnesses that construct
+// networks deep inside application code (internal/apps) are observed by
+// setting one process-wide hub.
+type Instrumentable interface {
+	Instrument(tel *telemetry.Telemetry, now func() sim.Time)
 }
 
 // DefaultConfig: 100 Gbps links, 500 ns propagation, 1 µs switch latency.
@@ -108,6 +118,13 @@ type Network struct {
 	injected  uint64
 	delivered uint64
 	errs      []error
+
+	// Tracing state; tr stays nil unless telemetry.Default carries a tracer
+	// at construction time, so the untraced hot path pays one nil check.
+	tr                  *telemetry.Tracer
+	detail              bool
+	pid                 int
+	txTID, swTID, rxTID int
 }
 
 // New builds a network around the switch.
@@ -126,7 +143,38 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 	for i := 0; i < cfg.Hosts; i++ {
 		n.hosts = append(n.hosts, &Host{ID: i})
 	}
+	if tel := telemetry.Default; tel.Enabled() {
+		n.instrument(tel)
+	}
 	return n, nil
+}
+
+// instrument wires the network (and, via Instrumentable, its switch) to the
+// process-wide telemetry hub.
+func (n *Network) instrument(tel *telemetry.Telemetry) {
+	reg, tr := tel.Reg(), tel.Trace()
+	inst := "0"
+	if reg != nil {
+		inst = reg.NextInstance("net")
+		ls := []telemetry.Label{telemetry.L("net", inst)}
+		reg.ObserveFunc("net.injected_pkts", func() float64 { return float64(n.injected) }, ls...)
+		reg.ObserveFunc("net.delivered_pkts", func() float64 { return float64(n.delivered) }, ls...)
+		reg.ObserveFunc("net.errors", func() float64 { return float64(len(n.errs)) }, ls...)
+		reg.ObserveFunc("net.engine.fired_events", func() float64 { return float64(n.eng.Fired()) }, ls...)
+		pending := reg.Gauge("net.engine.pending_events", ls...)
+		n.eng.SetDispatchHook(func(at sim.Time, p int, fired uint64) { pending.Set(int64(p)) })
+	}
+	if tr != nil {
+		n.tr = tr
+		n.detail = tel.Detail
+		n.pid = tr.NewProcess("net/" + inst)
+		n.txTID = tr.NewThread(n.pid, "tx")
+		n.swTID = tr.NewThread(n.pid, "switch")
+		n.rxTID = tr.NewThread(n.pid, "rx")
+	}
+	if sw, ok := n.sw.(Instrumentable); ok {
+		sw.Instrument(tel, n.eng.Now)
+	}
 }
 
 // Engine exposes the event engine (for scheduling application logic).
@@ -168,6 +216,10 @@ func (n *Network) SendAt(src int, pkt *packet.Packet, at sim.Time) {
 		done := start + n.serialization(src, pkt)
 		n.txBusyUntil[src] = done
 		arrive := done + n.cfg.PropDelay
+		if n.tr != nil {
+			n.tr.Complete(start, done-start, "tx", "net", n.pid, n.txTID,
+				map[string]any{"host": src, "bytes": pkt.WireLen()})
+		}
 		var d packet.Decoded
 		cfID := uint32(0)
 		if err := d.DecodePacket(pkt); err == nil {
@@ -199,7 +251,15 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet) {
 	outs, err := n.sw.Process(pkt)
 	if err != nil {
 		n.errs = append(n.errs, err)
+		if n.tr != nil {
+			n.tr.Instant(n.eng.Now(), "switch.error", "net", n.pid, n.swTID,
+				map[string]any{"error": err.Error()})
+		}
 		return
+	}
+	if n.tr != nil && n.detail {
+		n.tr.Instant(n.eng.Now(), "switch.process", "net", n.pid, n.swTID,
+			map[string]any{"ingress_port": pkt.IngressPort, "outs": len(outs)})
 	}
 	if counter != nil {
 		delta := counter.IngressTraversals() - before
@@ -227,6 +287,10 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet) {
 		done := start + n.serialization(dst, out)
 		n.rxBusyUntil[dst] = done
 		arrive := done + n.cfg.PropDelay
+		if n.tr != nil && n.detail {
+			n.tr.Complete(start, done-start, "rx", "net", n.pid, n.rxTID,
+				map[string]any{"host": dst, "bytes": out.WireLen()})
+		}
 		n.eng.Schedule(arrive, func() { n.deliver(dst, out) })
 	}
 }
@@ -242,6 +306,10 @@ func (n *Network) deliver(dst int, p *packet.Packet) {
 		cfID = d.Base.CoflowID
 	}
 	n.tracker.Deliver(cfID, n.eng.Now(), p.WireLen())
+	if n.tr != nil {
+		n.tr.Instant(n.eng.Now(), "deliver", "net", n.pid, n.rxTID,
+			map[string]any{"host": dst, "coflow": cfID})
+	}
 	if n.OnDeliver != nil {
 		n.OnDeliver(dst, p, n.eng.Now())
 	}

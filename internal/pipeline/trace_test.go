@@ -130,3 +130,98 @@ func TestParserFillsPHVArrayContainers(t *testing.T) {
 		t.Errorf("stage saw %v via PHV array", seen)
 	}
 }
+
+func TestObserverCyclesAcrossResume(t *testing.T) {
+	// Per-traversal cycle counts restart on Resume (each recirculation pass
+	// is its own traversal), while the pipeline's StageCycles accumulates
+	// across passes.
+	cfg := DefaultRMTConfig()
+	cfg.Stages = 2
+	p, _ := newTestPipeline(t, cfg)
+	var rec Recorder
+	p.SetObserver(rec.Observe)
+	pass := 0
+	prog := &Program{Funcs: []StageFunc{
+		func(s *Stage, ctx *Context) error {
+			if pass == 0 {
+				ctx.Verdict = VerdictRecirculate
+			}
+			return nil
+		},
+	}}
+	ctx, err := p.Process(kvPacket(1), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Verdict != VerdictRecirculate {
+		t.Fatalf("first pass verdict %v", ctx.Verdict)
+	}
+	pass++
+	firstPassEvents := len(rec.Events)
+	if err := p.Resume(ctx, prog); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(ctx)
+
+	var dones []Event
+	for _, e := range rec.Events {
+		if e.Kind == EvDone {
+			dones = append(dones, e)
+		}
+	}
+	if len(dones) != 2 {
+		t.Fatalf("done events = %d: %v", len(dones), rec.Events)
+	}
+	if dones[0].Verdict != VerdictRecirculate || dones[1].Verdict != VerdictForward {
+		t.Errorf("verdicts %v then %v", dones[0].Verdict, dones[1].Verdict)
+	}
+	// The second traversal's first event restarts the per-traversal count:
+	// its cycle count must be below the first traversal's finishing count.
+	second := rec.Events[firstPassEvents]
+	if second.Kind != EvParsed || second.Cycles >= dones[0].Cycles {
+		t.Errorf("resume did not restart cycles: %v after done at %d", second, dones[0].Cycles)
+	}
+	// StageCycles accumulated both passes — exactly the sum of the cycle
+	// counts at each pass's last stage event.
+	var wantTotal uint64
+	last := 0
+	for _, e := range rec.Events {
+		if e.Kind == EvStage {
+			last = e.Cycles
+		}
+		if e.Kind == EvDone {
+			wantTotal += uint64(last)
+		}
+	}
+	if got := p.StageCycles(); got != wantTotal {
+		t.Errorf("StageCycles = %d, want %d", got, wantTotal)
+	}
+	if p.Recirculations() != 1 {
+		t.Errorf("Recirculations = %d", p.Recirculations())
+	}
+}
+
+func TestObserverRearmsAfterDisarm(t *testing.T) {
+	p, _ := newTestPipeline(t, DefaultRMTConfig())
+	var rec Recorder
+	p.SetObserver(rec.Observe)
+	ctx, _ := p.Process(kvPacket(1), nil)
+	p.Release(ctx)
+	perPacket := len(rec.Events)
+	if perPacket == 0 {
+		t.Fatal("no events on armed pipeline")
+	}
+	p.SetObserver(nil)
+	ctx, _ = p.Process(kvPacket(2), nil)
+	p.Release(ctx)
+	p.SetObserver(rec.Observe)
+	ctx, _ = p.Process(kvPacket(3), nil)
+	p.Release(ctx)
+	if len(rec.Events) != 2*perPacket {
+		t.Errorf("events = %d, want %d (disarmed packet must not record)",
+			len(rec.Events), 2*perPacket)
+	}
+	if p.Packets() != 3 {
+		t.Errorf("Packets = %d (counters must not depend on the observer)", p.Packets())
+	}
+}

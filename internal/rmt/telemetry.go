@@ -1,0 +1,58 @@
+package rmt
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Instrument attaches the switch to a telemetry sink: per-switch counters
+// become lazily-evaluated registry metrics (zero hot-path cost), the TM
+// reports buffer occupancy and drops, and — when a tracer is present —
+// every pipeline routes its Observer events into sim-time trace tracks.
+// now supplies the surrounding network's clock; nil means all trace events
+// land at t=0 (synchronous harnesses).
+//
+// Instrument installs pipeline and TM observers, replacing any the caller
+// set earlier; callers that need their own observers should install them
+// after Instrument (telemetry then loses those streams, not vice versa).
+func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
+	if !tel.Enabled() {
+		return
+	}
+	if now == nil {
+		now = func() sim.Time { return 0 }
+	}
+	reg, tr := tel.Reg(), tel.Trace()
+	inst := "0"
+	if reg != nil {
+		inst = reg.NextInstance("rmt")
+	}
+	ls := []telemetry.Label{telemetry.L("arch", "rmt"), telemetry.L("instance", inst)}
+	var occ *telemetry.Gauge
+	if reg != nil {
+		reg.ObserveFunc("switch.delivered_pkts", func() float64 { return float64(s.delivered) }, ls...)
+		reg.ObserveFunc("switch.delivered_bytes", func() float64 { return float64(s.deliveredBytes) }, ls...)
+		reg.ObserveFunc("switch.recirc_traversals", func() float64 { return float64(s.recircTraversals) }, ls...)
+		reg.ObserveFunc("switch.misrouted_pkts", func() float64 { return float64(s.misrouted) }, ls...)
+		reg.ObserveFunc("switch.ingress_traversals", func() float64 { return float64(s.IngressTraversals()) }, ls...)
+		occ = telemetry.InstrumentTM(reg, s.tmgr, ls, "tm")
+	}
+	pid := tr.NewProcess("rmt/" + inst)
+	tmTID := tr.NewThread(pid, "tm")
+	if obs := telemetry.TMObserver(occ, tr, tel.Detail, now, "tm", pid, tmTID); obs != nil {
+		s.tmgr.SetObserver(obs)
+	}
+	if tr != nil {
+		hz := s.cfg.Pipe.ClockHz
+		for i, p := range s.ingress {
+			tid := tr.NewThread(pid, fmt.Sprintf("ingress%d", i))
+			p.SetObserver(telemetry.PipelineObserver(tr, tel.Detail, now, hz, pid, tid))
+		}
+		for i, p := range s.egress {
+			tid := tr.NewThread(pid, fmt.Sprintf("egress%d", i))
+			p.SetObserver(telemetry.PipelineObserver(tr, tel.Detail, now, hz, pid, tid))
+		}
+	}
+}

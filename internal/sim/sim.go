@@ -103,7 +103,12 @@ type Engine struct {
 	queue   eventHeap
 	fired   uint64
 	stopped bool
+	hook    DispatchHook
 }
+
+// DispatchHook observes each dispatched event: the time it fired, the queue
+// depth after removing it, and the cumulative fired count including it.
+type DispatchHook func(at Time, pending int, fired uint64)
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -116,6 +121,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetDispatchHook installs h, called once per dispatched event; nil removes
+// it. The hook costs one nil check per event when unset.
+func (e *Engine) SetDispatchHook(h DispatchHook) { e.hook = h }
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it always indicates a modeling bug, and silently
@@ -160,6 +169,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.hook != nil {
+			e.hook(ev.at, len(e.queue), e.fired)
+		}
 		ev.fn()
 		return true
 	}

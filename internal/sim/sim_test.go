@@ -329,3 +329,140 @@ func BenchmarkRNGUint64(b *testing.B) {
 		_ = r.Uint64()
 	}
 }
+
+// Cancel/Step interleavings: the queue must stay consistent when events are
+// canceled between, during, and after dispatches.
+
+func TestEngineCancelFromInsideCallback(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	var b *Event
+	e.Schedule(10, func() {
+		fired = append(fired, "a")
+		e.Cancel(b) // cancel a same-time sibling mid-dispatch
+	})
+	b = e.Schedule(10, func() { fired = append(fired, "b") })
+	e.Schedule(10, func() { fired = append(fired, "c") })
+	e.Run()
+	if got := len(fired); got != 2 || fired[0] != "a" || fired[1] != "c" {
+		t.Errorf("fired %v, want [a c]", fired)
+	}
+	if !b.Canceled() {
+		t.Error("canceled event not marked canceled")
+	}
+	if e.Fired() != 2 {
+		t.Errorf("Fired = %d, want 2 (dead events are not dispatches)", e.Fired())
+	}
+}
+
+func TestEngineCancelHeadThenStep(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	head := e.Schedule(5, func() { t.Error("canceled head fired") })
+	e.Schedule(7, func() { ran = true })
+	e.Cancel(head)
+	if !e.Step() {
+		t.Fatal("Step found no live event")
+	}
+	if !ran || e.Now() != 7 {
+		t.Errorf("ran=%v now=%v, want true 7ps", ran, e.Now())
+	}
+	if e.Step() {
+		t.Error("Step dispatched from an empty queue")
+	}
+}
+
+func TestEngineCancelAllThenStep(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 0; i < 4; i++ {
+		evs = append(evs, e.Schedule(Time(i+1), func() { t.Error("canceled event fired") }))
+	}
+	for _, ev := range evs {
+		e.Cancel(ev)
+	}
+	if e.Step() {
+		t.Error("Step reported progress with only dead events queued")
+	}
+	if e.Now() != 0 || e.Fired() != 0 {
+		t.Errorf("now=%v fired=%d after draining dead events", e.Now(), e.Fired())
+	}
+}
+
+func TestEngineCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	later := false
+	e.Schedule(2, func() { later = true })
+	e.Step()
+	e.Cancel(a) // already fired
+	e.Cancel(a) // double cancel
+	e.Cancel(nil)
+	e.Run()
+	if !later {
+		t.Error("cancel of a fired event disturbed the queue")
+	}
+}
+
+func TestEngineCancelAndRescheduleInterleaved(t *testing.T) {
+	// A canceled slot replaced by a new event at the same time must fire in
+	// insertion order relative to survivors, deterministically.
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 1) })
+	dead := e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(10, func() { order = append(order, 3) })
+	e.Cancel(dead)
+	e.Schedule(10, func() { order = append(order, 4) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 4 {
+		t.Errorf("order = %v, want [1 3 4]", order)
+	}
+}
+
+func TestEngineDispatchHook(t *testing.T) {
+	e := NewEngine()
+	type obs struct {
+		at      Time
+		pending int
+		fired   uint64
+	}
+	var seen []obs
+	e.SetDispatchHook(func(at Time, pending int, fired uint64) {
+		seen = append(seen, obs{at, pending, fired})
+	})
+	e.Schedule(10, func() {})
+	dead := e.Schedule(20, func() {})
+	e.Schedule(30, func() {})
+	e.Cancel(dead)
+	e.Run()
+	want := []obs{{10, 1, 1}, {30, 0, 2}}
+	if len(seen) != len(want) {
+		t.Fatalf("hook fired %d times: %v", len(seen), seen)
+	}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("hook call %d = %+v, want %+v", i, seen[i], w)
+		}
+	}
+	// Removing the hook stops the callbacks.
+	e.SetDispatchHook(nil)
+	e.Schedule(40, func() {})
+	e.Run()
+	if len(seen) != 2 {
+		t.Error("hook fired after removal")
+	}
+}
+
+func TestEngineDispatchHookSeesScheduleFromCallback(t *testing.T) {
+	// Events scheduled by a callback count toward pending on later hook
+	// calls — the hook observes the queue depth after the pop, before fn.
+	e := NewEngine()
+	var pendings []int
+	e.SetDispatchHook(func(_ Time, pending int, _ uint64) { pendings = append(pendings, pending) })
+	e.Schedule(1, func() { e.After(1, func() {}) })
+	e.Run()
+	if len(pendings) != 2 || pendings[0] != 0 || pendings[1] != 0 {
+		t.Errorf("pendings = %v, want [0 0]", pendings)
+	}
+}

@@ -30,13 +30,15 @@ func (c *Counter) Reset() { c.n = 0 }
 // Gauge is a settable instantaneous value that tracks its peak.
 type Gauge struct {
 	v, peak int64
+	peakSet bool
 }
 
 // Set sets the gauge.
 func (g *Gauge) Set(v int64) {
 	g.v = v
-	if v > g.peak {
+	if !g.peakSet || v > g.peak {
 		g.peak = v
+		g.peakSet = true
 	}
 }
 
@@ -46,7 +48,8 @@ func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v }
 
-// Peak returns the maximum value ever set.
+// Peak returns the maximum value ever set, even when every value was
+// negative. A gauge that was never set reports 0.
 func (g *Gauge) Peak() int64 { return g.peak }
 
 // Histogram accumulates observations and reports order statistics.
@@ -164,15 +167,17 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row; cells beyond the header count are dropped, missing
-// cells render empty.
+// AddRow appends a row; missing cells render empty. Passing more cells
+// than the table has headers panics: silently dropping data has produced
+// wrong-looking tables before, and a row wider than its header is always a
+// caller bug.
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.headers))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("stats: AddRow got %d cells for %d headers (table %q)",
+			len(cells), len(t.headers), t.title))
 	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
 

@@ -41,6 +41,22 @@ func TestGaugePeak(t *testing.T) {
 	}
 }
 
+// A gauge that only ever held negative values must report its true
+// (negative) maximum, not the implicit zero initialization.
+func TestGaugePeakAllNegative(t *testing.T) {
+	var g Gauge
+	g.Set(-7)
+	g.Set(-3)
+	g.Set(-12)
+	if g.Peak() != -3 {
+		t.Errorf("Peak = %d, want -3", g.Peak())
+	}
+	var unset Gauge
+	if unset.Peak() != 0 {
+		t.Errorf("unset gauge Peak = %d, want 0", unset.Peak())
+	}
+}
+
 func TestHistogramBasics(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
@@ -171,15 +187,27 @@ func TestTableRendering(t *testing.T) {
 
 func TestTableRowPadding(t *testing.T) {
 	tbl := NewTable("", "a", "b", "c")
-	tbl.AddRow("only")             // short row pads
-	tbl.AddRow("1", "2", "3", "4") // long row truncates
+	tbl.AddRow("only") // short row pads
 	out := tbl.String()
-	if strings.Contains(out, "4") {
-		t.Error("extra cell not dropped")
-	}
 	if !strings.Contains(out, "only") {
 		t.Error("short row missing")
 	}
+}
+
+// A row wider than the header must fail loudly: silent truncation has
+// already hidden data from table output once.
+func TestTableOverWideRowPanics(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddRow with 4 cells for 3 headers did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "4 cells for 3 headers") {
+			t.Errorf("panic message %v lacks cell/header counts", r)
+		}
+	}()
+	tbl.AddRow("1", "2", "3", "4")
 }
 
 func TestFormatSI(t *testing.T) {

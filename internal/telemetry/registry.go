@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Label is one key=value dimension of a metric. Metrics with the same name
+// but different label sets are distinct series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies a registered metric.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"   // monotonically increasing count
+	KindGauge     Kind = "gauge"     // settable instantaneous value + peak
+	KindHistogram Kind = "histogram" // order statistics over observations
+	KindValue     Kind = "value"     // scalar result (experiment headline)
+	KindFunc      Kind = "func"      // evaluated lazily at snapshot time
+)
+
+// Counter is a registered monotonic counter.
+type Counter struct{ c stats.Counter }
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.c.Inc() }
+
+// Add increments by d.
+func (c *Counter) Add(d uint64) { c.c.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.c.Value() }
+
+// Gauge is a registered instantaneous value that tracks its peak.
+type Gauge struct{ g stats.Gauge }
+
+// Set sets the gauge.
+func (g *Gauge) Set(v int64) { g.g.Set(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.g.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.g.Value() }
+
+// Peak returns the maximum value ever set.
+func (g *Gauge) Peak() int64 { return g.g.Peak() }
+
+// Histogram is a registered distribution.
+type Histogram struct{ h stats.Histogram }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.h.Observe(v) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.h.Count() }
+
+type metric struct {
+	name   string
+	labels []Label // sorted by key then value
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	value   float64
+	fn      func() float64
+}
+
+// Registry is a per-run set of named, labeled metrics. The zero value is
+// not usable; call NewRegistry. A Registry is safe for concurrent use
+// (benchmark sub-tests may report from multiple goroutines), but snapshot
+// ordering never depends on registration order or goroutine scheduling:
+// snapshots sort by name, then labels.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	seq     map[string]int // per-prefix instance counters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric), seq: make(map[string]int)}
+}
+
+// key canonicalizes (name, labels); labels are sorted so call-site order
+// never matters.
+func key(name string, labels []Label) (string, []Label) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Value < ls[j].Value
+	})
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String(), ls
+}
+
+// lookup returns the metric registered under (name, labels), creating it
+// with mk when absent. Registering the same series under a different kind
+// panics: it is always a naming bug, and silently aliasing two meanings
+// onto one series would corrupt the export.
+func (r *Registry) lookup(name string, labels []Label, kind Kind, mk func(ls []Label) *metric) *metric {
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[k]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := mk(ls)
+	r.metrics[k] = m
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	m := r.lookup(name, labels, KindCounter, func(ls []Label) *metric {
+		return &metric{name: name, labels: ls, kind: KindCounter, counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	m := r.lookup(name, labels, KindGauge, func(ls []Label) *metric {
+		return &metric{name: name, labels: ls, kind: KindGauge, gauge: &Gauge{}}
+	})
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	m := r.lookup(name, labels, KindHistogram, func(ls []Label) *metric {
+		return &metric{name: name, labels: ls, kind: KindHistogram, hist: &Histogram{}}
+	})
+	return m.hist
+}
+
+// Set records a scalar result metric (an experiment headline number).
+// Setting the same series again overwrites it, so re-running an experiment
+// within one process is idempotent.
+func (r *Registry) Set(name string, v float64, labels ...Label) {
+	m := r.lookup(name, labels, KindValue, func(ls []Label) *metric {
+		return &metric{name: name, labels: ls, kind: KindValue}
+	})
+	r.mu.Lock()
+	m.value = v
+	r.mu.Unlock()
+}
+
+// ObserveFunc registers fn to be evaluated at snapshot time — instrument a
+// component without any hot-path cost. Re-registering an existing series
+// replaces the function (the newest instance wins).
+func (r *Registry) ObserveFunc(name string, fn func() float64, labels ...Label) {
+	m := r.lookup(name, labels, KindFunc, func(ls []Label) *metric {
+		return &metric{name: name, labels: ls, kind: KindFunc}
+	})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// NextInstance returns a fresh instance-label value for prefix ("0", "1",
+// ...). Construction order is deterministic in this single-goroutine
+// simulator, so instance labels are stable across runs.
+func (r *Registry) NextInstance(prefix string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq[prefix]
+	r.seq[prefix]++
+	return fmt.Sprintf("%d", n)
+}
+
+// HistogramSnapshot summarizes a histogram at snapshot time.
+type HistogramSnapshot struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// MetricSnapshot is one exported series.
+type MetricSnapshot struct {
+	Name   string             `json:"name"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Kind   Kind               `json:"kind"`
+	Value  float64            `json:"value"`
+	Peak   *int64             `json:"peak,omitempty"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot is the exported state of a registry.
+type Snapshot struct {
+	// Schema versions the document layout.
+	Schema  string           `json:"schema"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// SnapshotSchema identifies the metrics document layout.
+const SnapshotSchema = "adcp-metrics/1"
+
+// Snapshot captures every metric, sorted by name then labels, evaluating
+// KindFunc metrics in that same deterministic order.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ms := make([]*metric, len(keys))
+	for i, k := range keys {
+		ms[i] = r.metrics[k]
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Schema: SnapshotSchema}
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Kind: m.kind}
+		if len(m.labels) > 0 {
+			s.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case KindCounter:
+			s.Value = float64(m.counter.Value())
+		case KindGauge:
+			s.Value = float64(m.gauge.Value())
+			peak := m.gauge.Peak()
+			s.Peak = &peak
+		case KindHistogram:
+			h := &m.hist.h
+			s.Hist = &HistogramSnapshot{
+				Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+				Min: h.Min(), Max: h.Max(),
+				P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			}
+			s.Value = h.Mean()
+		case KindValue:
+			s.Value = m.value
+		case KindFunc:
+			s.Value = m.fn()
+		}
+		snap.Metrics = append(snap.Metrics, s)
+	}
+	return snap
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
+
+// WriteJSON serializes the snapshot as indented JSON. The output is
+// byte-identical across runs that registered the same series with the same
+// values: series are sorted, label maps marshal in key order, and nothing
+// wall-clock-dependent is included.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

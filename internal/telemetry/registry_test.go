@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("pkts", L("arch", "rmt"))
+	c1.Inc()
+	c2 := r.Counter("pkts", L("arch", "rmt"))
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c2.Add(2)
+	if c1.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c1.Value())
+	}
+	// Different labels → different series.
+	other := r.Counter("pkts", L("arch", "adcp"))
+	if other.Value() != 0 {
+		t.Error("label variant shares state")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("depth", L("tm", "1"), L("arch", "adcp"))
+	b := r.Gauge("depth", L("arch", "adcp"), L("tm", "1"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering counter series as gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistrySetOverwrites(t *testing.T) {
+	r := NewRegistry()
+	r.Set("exp.keyrate.speedup", 4, L("width", "4"))
+	r.Set("exp.keyrate.speedup", 16, L("width", "4"))
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 16 {
+		t.Errorf("snapshot = %+v, want single value 16", snap.Metrics)
+	}
+}
+
+func TestRegistryObserveFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.ObserveFunc("live", func() float64 { n++; return float64(n) })
+	if got := r.Snapshot().Metrics[0].Value; got != 1 {
+		t.Errorf("first snapshot = %v, want 1", got)
+	}
+	if got := r.Snapshot().Metrics[0].Value; got != 2 {
+		t.Errorf("second snapshot = %v, want 2 (fn not re-evaluated)", got)
+	}
+}
+
+func TestRegistryGaugePeakExported(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("occ")
+	g.Set(-5)
+	g.Set(-9)
+	snap := r.Snapshot()
+	if snap.Metrics[0].Peak == nil || *snap.Metrics[0].Peak != -5 {
+		t.Errorf("peak = %v, want -5", snap.Metrics[0].Peak)
+	}
+	if snap.Metrics[0].Value != -9 {
+		t.Errorf("value = %v, want -9", snap.Metrics[0].Value)
+	}
+}
+
+func TestRegistryHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{4, 1, 3, 2} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Metrics[0]
+	if s.Hist == nil {
+		t.Fatal("no histogram summary")
+	}
+	if s.Hist.Count != 4 || s.Hist.Min != 1 || s.Hist.Max != 4 || s.Hist.Sum != 10 {
+		t.Errorf("summary = %+v", s.Hist)
+	}
+}
+
+// Snapshot ordering and JSON bytes must not depend on registration order —
+// the byte-identical-output guarantee of adcpsim -metrics.
+func TestRegistryDeterministicJSON(t *testing.T) {
+	build := func(reverse bool) []byte {
+		r := NewRegistry()
+		ops := []func(){
+			func() { r.Counter("b.count", L("arch", "rmt")).Add(7) },
+			func() { r.Set("a.value", 1.5, L("k", "2"), L("j", "1")) },
+			func() { r.Gauge("c.gauge").Set(3) },
+		}
+		if reverse {
+			for i := len(ops) - 1; i >= 0; i-- {
+				ops[i]()
+			}
+		} else {
+			for _, op := range ops {
+				op()
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(false), build(true)
+	if !bytes.Equal(a, b) {
+		t.Errorf("registration order changed JSON:\n%s\nvs\n%s", a, b)
+	}
+	// The document must be valid JSON with the expected schema and order.
+	var doc Snapshot
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SnapshotSchema {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	names := []string{}
+	for _, m := range doc.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"a.value", "b.count", "c.gauge"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryNextInstance(t *testing.T) {
+	r := NewRegistry()
+	if a, b := r.NextInstance("rmt"), r.NextInstance("rmt"); a != "0" || b != "1" {
+		t.Errorf("instances = %s, %s", a, b)
+	}
+	if c := r.NextInstance("net"); c != "0" {
+		t.Errorf("independent prefix = %s", c)
+	}
+}

@@ -1,0 +1,61 @@
+// Package telemetry is the observability layer of the simulator: a per-run
+// registry of named, labeled metrics (counters, gauges, histograms, and
+// scalar experiment results) with deterministic snapshot ordering, and a
+// structured tracer that records engine, pipeline, traffic-manager, and
+// network events keyed by *simulated* time. Both are optional: every
+// instrumented component holds a nil-able reference, and disabled telemetry
+// costs at most one nil/bool check per event on the hot paths.
+//
+// The registry supersedes the anonymous ad-hoc counters in internal/stats
+// for anything that must leave the process: an experiment run serializes
+// its registry to one machine-readable JSON document (adcpsim -metrics),
+// which is byte-identical across runs at the same seed, so runs can be
+// compared machine-to-machine across commits. The tracer serializes to
+// JSONL and to Chrome trace-event format (viewable in Perfetto or
+// chrome://tracing), timestamped in simulated microseconds.
+//
+// See docs/OBSERVABILITY.md for metric naming conventions, the trace
+// schema, and a Perfetto how-to.
+package telemetry
+
+// Telemetry bundles the two optional sinks a run may carry. Either field
+// may be nil; a nil *Telemetry disables everything.
+type Telemetry struct {
+	// Metrics receives named, labeled values. Nil disables metric export.
+	Metrics *Registry
+	// Tracer receives sim-time structured events. Nil disables tracing.
+	Tracer *Tracer
+	// Detail enables high-volume trace events (per-stage pipeline events
+	// rather than only per-traversal summaries).
+	Detail bool
+}
+
+// Default is the process-wide optional telemetry sink. It is nil unless a
+// harness (cmd/adcpsim, a test) installs one; components that build their
+// own internal networks (internal/apps, internal/experiments) attach to it
+// at construction time so a single flag can observe a whole run. Harnesses
+// must reset it to nil when their run ends. All models are single-goroutine
+// by design (see internal/sim), so plain assignment is safe.
+var Default *Telemetry
+
+// Enabled reports whether t carries at least one sink.
+func (t *Telemetry) Enabled() bool {
+	return t != nil && (t.Metrics != nil || t.Tracer != nil)
+}
+
+// Trace returns the tracer, or nil. Safe on a nil receiver, so call sites
+// can write tel.Trace().Instant(...) unconditionally.
+func (t *Telemetry) Trace() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
+// Reg returns the metrics registry, or nil. Safe on a nil receiver.
+func (t *Telemetry) Reg() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}

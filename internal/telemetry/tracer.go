@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Phase is the trace-event phase, following the Chrome trace-event format:
+// 'X' complete (has a duration), 'i' instant, 'C' counter, 'M' metadata.
+type Phase byte
+
+// Trace event phases.
+const (
+	PhaseComplete Phase = 'X'
+	PhaseInstant  Phase = 'i'
+	PhaseCounter  Phase = 'C'
+	PhaseMetadata Phase = 'M'
+)
+
+// TraceEvent is one structured event, timestamped in simulated picoseconds
+// (the engine's native unit). Serialization converts to the target
+// format's unit (Chrome traces use microseconds).
+type TraceEvent struct {
+	TS   sim.Time
+	Dur  sim.Time
+	Ph   Phase
+	Name string
+	Cat  string
+	PID  int
+	TID  int
+	Args map[string]any
+}
+
+// Tracer accumulates sim-time trace events. All methods are safe on a nil
+// receiver (they do nothing), so instrumented components pay exactly one
+// nil check per event when tracing is off. The event buffer is bounded:
+// past MaxEvents further events are counted as dropped rather than stored,
+// and the drop count is exported in both output formats (no silent
+// truncation).
+type Tracer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped uint64
+	pids    int
+	tids    map[int]int
+
+	// MaxEvents bounds the buffer; 0 means DefaultMaxEvents.
+	MaxEvents int
+}
+
+// DefaultMaxEvents bounds a tracer's buffer unless overridden.
+const DefaultMaxEvents = 1 << 20
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{tids: make(map[int]int)} }
+
+// Enabled reports whether the tracer is collecting.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit appends one event. Nil-safe.
+func (t *Tracer) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	max := t.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if len(t.events) >= max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a point event at simulated time ts.
+func (t *Tracer) Instant(ts sim.Time, name, cat string, pid, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{TS: ts, Ph: PhaseInstant, Name: name, Cat: cat, PID: pid, TID: tid, Args: args})
+}
+
+// Complete records an event spanning [ts, ts+dur].
+func (t *Tracer) Complete(ts, dur sim.Time, name, cat string, pid, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{TS: ts, Dur: dur, Ph: PhaseComplete, Name: name, Cat: cat, PID: pid, TID: tid, Args: args})
+}
+
+// Counter records sampled series values (rendered as a stacked counter
+// track in Perfetto).
+func (t *Tracer) Counter(ts sim.Time, name string, pid int, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.Emit(TraceEvent{TS: ts, Ph: PhaseCounter, Name: name, Cat: "counter", PID: pid, Args: args})
+}
+
+// NewProcess allocates a trace process id and names its track. Processes
+// model switch/network instances; threads model pipelines within them.
+func (t *Tracer) NewProcess(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	pid := t.pids
+	t.pids++
+	t.mu.Unlock()
+	t.Emit(TraceEvent{Ph: PhaseMetadata, Name: "process_name", PID: pid, Args: map[string]any{"name": name}})
+	return pid
+}
+
+// NewThread allocates a thread id within pid and names its track.
+func (t *Tracer) NewThread(pid int, name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	tid := t.tids[pid]
+	t.tids[pid] = tid + 1
+	t.mu.Unlock()
+	t.Emit(TraceEvent{Ph: PhaseMetadata, Name: "thread_name", PID: pid, TID: tid, Args: map[string]any{"name": name}})
+	return tid
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the buffer cap rejected.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// jsonlEvent is the JSONL serialization of one event: picosecond
+// timestamps (exact integers), explicit phase mnemonic.
+type jsonlEvent struct {
+	TSPs  int64          `json:"ts_ps"`
+	DurPs int64          `json:"dur_ps,omitempty"`
+	Ph    string         `json:"ph"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line, in emission order, followed
+// by a trailer line recording the drop count.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.events {
+		je := jsonlEvent{
+			TSPs: int64(ev.TS), DurPs: int64(ev.Dur), Ph: string(rune(ev.Ph)),
+			Name: ev.Name, Cat: ev.Cat, PID: ev.PID, TID: ev.TID, Args: ev.Args,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	trailer := map[string]any{"ph": "trailer", "events": len(t.events), "dropped": t.dropped}
+	if err := enc.Encode(trailer); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is the Chrome trace-event serialization: timestamps in
+// microseconds (the format's required unit), simulated not wall-clock.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container flavor of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// psToUs converts picoseconds to the Chrome format's microseconds.
+func psToUs(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// WriteChromeTrace writes the buffered events in Chrome trace-event format
+// (the JSON-object flavor), loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Timestamps are simulated microseconds.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ct := chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]chromeEvent, 0, len(t.events)),
+		OtherData: map[string]any{
+			"clock":   "simulated",
+			"events":  len(t.events),
+			"dropped": fmt.Sprintf("%d", t.dropped),
+		},
+	}
+	for _, ev := range t.events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(rune(ev.Ph)),
+			TS: psToUs(ev.TS), PID: ev.PID, TID: ev.TID, Args: ev.Args,
+		}
+		switch ev.Ph {
+		case PhaseComplete:
+			ce.Dur = psToUs(ev.Dur)
+		case PhaseInstant:
+			ce.S = "t" // thread-scoped instant
+		case PhaseMetadata:
+			ce.TS = 0
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ce)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ct); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

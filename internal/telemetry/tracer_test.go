@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A nil tracer must absorb every call without panicking — that is the
+// tracing-off fast path used throughout the instrumented code.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(TraceEvent{Name: "x"})
+	tr.Instant(1, "a", "c", 0, 0, nil)
+	tr.Complete(1, 2, "b", "c", 0, 0, nil)
+	tr.Counter(1, "q", 0, map[string]float64{"v": 1})
+	if tr.NewProcess("p") != 0 || tr.NewThread(0, "t") != 0 {
+		t.Error("nil tracer allocated nonzero track ids")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer holds state")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerCapture(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("switch0")
+	tid := tr.NewThread(pid, "ingress0")
+	tr.Complete(1000, 500, "traversal", "pipeline", pid, tid, map[string]any{"cycles": 5})
+	tr.Instant(1500, "recirculate", "pipeline", pid, tid, nil)
+	evs := tr.Events()
+	// 2 metadata + 2 payload events.
+	if len(evs) != 4 {
+		t.Fatalf("captured %d events, want 4", len(evs))
+	}
+	if evs[2].Ph != PhaseComplete || evs[2].TS != 1000 || evs[2].Dur != 500 {
+		t.Errorf("complete event = %+v", evs[2])
+	}
+	if evs[3].Ph != PhaseInstant || evs[3].TS != 1500 {
+		t.Errorf("instant event = %+v", evs[3])
+	}
+}
+
+func TestTracerTrackAllocation(t *testing.T) {
+	tr := NewTracer()
+	p0 := tr.NewProcess("a")
+	p1 := tr.NewProcess("b")
+	if p0 == p1 {
+		t.Error("process ids collide")
+	}
+	t0 := tr.NewThread(p0, "x")
+	t1 := tr.NewThread(p0, "y")
+	t2 := tr.NewThread(p1, "z")
+	if t0 == t1 {
+		t.Error("thread ids collide within a process")
+	}
+	if t2 != 0 {
+		t.Errorf("fresh process thread id = %d, want 0", t2)
+	}
+}
+
+func TestTracerCapAndDropped(t *testing.T) {
+	tr := NewTracer()
+	tr.MaxEvents = 3
+	for i := 0; i < 5; i++ {
+		tr.Instant(sim.Time(i), "e", "c", 0, 0, nil)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	// The drop count must be visible in both serializations.
+	var jl bytes.Buffer
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jl.String(), `"dropped":2`) {
+		t.Errorf("JSONL trailer missing drop count:\n%s", jl.String())
+	}
+	var ch bytes.Buffer
+	if err := tr.WriteChromeTrace(&ch); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ch.String(), `"dropped":"2"`) {
+		t.Errorf("chrome otherData missing drop count:\n%s", ch.String())
+	}
+}
+
+func TestWriteJSONLParses(t *testing.T) {
+	tr := NewTracer()
+	tr.Complete(2_000_000, 1_000_000, "span", "cat", 1, 2, map[string]any{"k": "v"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 { // event + trailer
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	ev := lines[0]
+	if ev["ts_ps"] != float64(2_000_000) || ev["dur_ps"] != float64(1_000_000) {
+		t.Errorf("timestamps = %v/%v, want exact picoseconds", ev["ts_ps"], ev["dur_ps"])
+	}
+	if ev["ph"] != "X" {
+		t.Errorf("ph = %v, want X", ev["ph"])
+	}
+	trailer := lines[1]
+	if trailer["ph"] != "trailer" || trailer["events"] != float64(1) {
+		t.Errorf("trailer = %v", trailer)
+	}
+}
+
+// Chrome trace timestamps must be simulated microseconds: 2e6 ps → 2 µs.
+func TestChromeTraceMicroseconds(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("net")
+	tr.Complete(2_000_000, 500_000, "hop", "netsim", pid, 0, nil)
+	tr.Instant(3_500_000, "drop", "netsim", pid, 0, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + complete + instant
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Errorf("metadata event = %v", meta)
+	}
+	comp := doc.TraceEvents[1]
+	if comp["ph"] != "X" || comp["ts"] != float64(2) || comp["dur"] != float64(0.5) {
+		t.Errorf("complete event = %v, want ts=2µs dur=0.5µs", comp)
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" || inst["ts"] != float64(3.5) || inst["s"] != "t" {
+		t.Errorf("instant event = %v, want ts=3.5µs scope t", inst)
+	}
+	if doc.OtherData["clock"] != "simulated" {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+}
+
+func TestTelemetryNilSafety(t *testing.T) {
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Error("nil Telemetry enabled")
+	}
+	if tel.Trace() != nil {
+		t.Error("nil Telemetry returned a tracer")
+	}
+	if tel.Reg() != nil {
+		t.Error("nil Telemetry returned a registry")
+	}
+	// And a tracer obtained through a nil hub must itself be nil-safe.
+	tel.Trace().Instant(0, "x", "c", 0, 0, nil)
+}

@@ -24,6 +24,42 @@ import (
 	"repro/internal/packet"
 )
 
+// Op classifies a TM observer event.
+type Op uint8
+
+// Observer operations.
+const (
+	OpEnqueue Op = iota
+	OpDequeue
+	OpDrop
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	case OpDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event describes one buffer operation: the queue it touched, the packet's
+// wire length, and the shared-pool occupancy after the operation.
+type Event struct {
+	Op             Op
+	Output         int
+	Bytes          int
+	OccupancyBytes int
+}
+
+// Observer receives one Event per enqueue, dequeue, and drop.
+type Observer func(ev Event)
+
 // SharedMemoryTM is an output-buffered scheduler backed by one shared
 // memory pool: per-output FIFO queues that together may hold at most
 // bufferBytes of packet data. Enqueueing beyond the budget drops the packet
@@ -37,6 +73,8 @@ type SharedMemoryTM struct {
 	dequeued  uint64
 	dropped   uint64
 	peakBytes int
+
+	obs Observer
 }
 
 // NewSharedMemoryTM builds a TM with numOutputs queues sharing bufferBytes.
@@ -53,6 +91,10 @@ func NewSharedMemoryTM(numOutputs, bufferBytes int) *SharedMemoryTM {
 // Outputs returns the number of output queues.
 func (t *SharedMemoryTM) Outputs() int { return len(t.queues) }
 
+// SetObserver installs obs on every buffer operation; nil removes it. The
+// observer costs one nil check per operation when unset.
+func (t *SharedMemoryTM) SetObserver(obs Observer) { t.obs = obs }
+
 // Enqueue appends p to output queue out. It returns false (and drops the
 // packet) when the shared buffer cannot hold it.
 func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
@@ -62,6 +104,9 @@ func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
 	n := p.WireLen()
 	if t.usedBytes+n > t.bufBytes {
 		t.dropped++
+		if t.obs != nil {
+			t.obs(Event{Op: OpDrop, Output: out, Bytes: n, OccupancyBytes: t.usedBytes})
+		}
 		return false
 	}
 	t.queues[out] = append(t.queues[out], p)
@@ -70,6 +115,9 @@ func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
 		t.peakBytes = t.usedBytes
 	}
 	t.enqueued++
+	if t.obs != nil {
+		t.obs(Event{Op: OpEnqueue, Output: out, Bytes: n, OccupancyBytes: t.usedBytes})
+	}
 	return true
 }
 
@@ -100,6 +148,9 @@ func (t *SharedMemoryTM) Dequeue(out int) *packet.Packet {
 	t.queues[out] = q[1:]
 	t.usedBytes -= p.WireLen()
 	t.dequeued++
+	if t.obs != nil {
+		t.obs(Event{Op: OpDequeue, Output: out, Bytes: p.WireLen(), OccupancyBytes: t.usedBytes})
+	}
 	return p
 }
 

@@ -447,3 +447,72 @@ func BenchmarkMergeTM8Flows(b *testing.B) {
 		}
 	}
 }
+
+func TestSharedMemoryObserverEvents(t *testing.T) {
+	m := NewSharedMemoryTM(2, 2*packet.MinWireLen)
+	var events []Event
+	m.SetObserver(func(ev Event) { events = append(events, ev) })
+	a, b := mkPkt(0), mkPkt(0)
+	m.Enqueue(0, a)
+	m.Enqueue(1, b)
+	m.Enqueue(0, mkPkt(0)) // over budget → drop
+	m.Dequeue(1)
+	if len(events) != 4 {
+		t.Fatalf("events = %d: %v", len(events), events)
+	}
+	wl := a.WireLen()
+	want := []Event{
+		{Op: OpEnqueue, Output: 0, Bytes: wl, OccupancyBytes: wl},
+		{Op: OpEnqueue, Output: 1, Bytes: wl, OccupancyBytes: 2 * wl},
+		{Op: OpDrop, Output: 0, Bytes: wl, OccupancyBytes: 2 * wl},
+		{Op: OpDequeue, Output: 1, Bytes: wl, OccupancyBytes: wl},
+	}
+	for i, w := range want {
+		if events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], w)
+		}
+	}
+	// Every event's occupancy matches the TM's accounting at that moment:
+	// the final one must agree with the live Occupancy.
+	if last := events[len(events)-1]; last.OccupancyBytes != m.Occupancy() {
+		t.Errorf("final occupancy %d, TM says %d", last.OccupancyBytes, m.Occupancy())
+	}
+}
+
+func TestSharedMemoryObserverDisarm(t *testing.T) {
+	m := NewSharedMemoryTM(1, 1<<20)
+	n := 0
+	m.SetObserver(func(Event) { n++ })
+	m.Enqueue(0, mkPkt(1))
+	m.SetObserver(nil)
+	m.Enqueue(0, mkPkt(1))
+	m.Dequeue(0)
+	if n != 1 {
+		t.Errorf("observer fired %d times after disarm, want 1", n)
+	}
+}
+
+func TestSharedMemoryObserverMulticast(t *testing.T) {
+	m := NewSharedMemoryTM(4, 1<<20)
+	var outs []int
+	m.SetObserver(func(ev Event) {
+		if ev.Op != OpEnqueue {
+			t.Errorf("unexpected op %v", ev.Op)
+		}
+		outs = append(outs, ev.Output)
+	})
+	m.EnqueueMulticast([]int{0, 2, 3}, mkPkt(8))
+	if len(outs) != 3 || outs[0] != 0 || outs[1] != 2 || outs[2] != 3 {
+		t.Errorf("multicast observer saw outputs %v", outs)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpEnqueue: "enqueue", OpDequeue: "dequeue", OpDrop: "drop", Op(9): "Op(9)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
