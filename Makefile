@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench experiments tables examples cover clean ci
+.PHONY: all build test bench bench-check experiments tables examples cover clean ci
 
 all: build test
 
@@ -14,6 +14,16 @@ test:
 # Full benchmark pass, as recorded in bench_output.txt.
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerate the experiment headlines the benchmarks record and compare
+# them against the committed baseline (±20%). The underlying experiments
+# are deterministic, so in practice any drift means the model changed;
+# refresh the baseline intentionally with:
+#   BENCH_JSON=bench_baseline.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
+BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth
+bench-check:
+	BENCH_JSON=/tmp/bench_current.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
+	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20
 
 # Every table and figure of the paper.
 experiments:

@@ -47,18 +47,17 @@ import (
 //	BENCH_JSON=BENCH_table1.json go test -run '^$' -bench BenchmarkTable1Apps .
 func TestMain(m *testing.M) {
 	path := os.Getenv("BENCH_JSON")
-	if path != "" {
-		telemetry.Default = &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	if path == "" {
+		os.Exit(m.Run())
 	}
-	code := m.Run()
-	if path != "" {
-		if err := writeBenchMetrics(path, telemetry.Default.Reg()); err != nil {
-			fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
-			if code == 0 {
-				code = 1
-			}
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	var code int
+	telemetry.WithDefault(tel, func() { code = m.Run() })
+	if err := writeBenchMetrics(path, tel.Reg()); err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
+		if code == 0 {
+			code = 1
 		}
-		telemetry.Default = nil
 	}
 	os.Exit(code)
 }

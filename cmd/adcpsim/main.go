@@ -19,10 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -69,6 +73,14 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	traceJSONLPath := fs.String("trace-jsonl", "", "write the trace as JSON lines (exact picosecond timestamps) to this file")
 	traceDetail := fs.Bool("trace-detail", false, "trace per-stage pipeline events too (large traces)")
 	progress := fs.Bool("progress", false, "print each experiment id to stderr as it starts")
+	serveAddr := fs.String("serve", "", "serve /metrics, /healthz, /progress and pprof on this address while experiments run (e.g. 127.0.0.1:8080)")
+	reportPath := fs.String("report", "", "write a self-contained HTML run report to this file")
+	samplesCSV := fs.String("samples-csv", "", "write sampled time series as CSV to this file")
+	samplesJSON := fs.String("samples-json", "", "write sampled time series as JSON to this file")
+	sampleIntervalUS := fs.Int("sample-interval-us", 10, "sampling period in simulated microseconds")
+	sampleCap := fs.Int("sample-cap", telemetry.DefaultSampleCapacity, "ring-buffer capacity per sampled series")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -105,19 +117,60 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Install the process-wide telemetry hub before any experiment builds a
-	// network, so netsim.New can attach switches to it.
+	// Build the process-wide telemetry hub before any experiment builds a
+	// network, so netsim.New can attach switches to it. The registry exists
+	// whenever any consumer of metric values is requested; the sampler
+	// whenever any consumer of time series is.
+	needSampler := *reportPath != "" || *serveAddr != "" || *samplesCSV != "" || *samplesJSON != ""
+	needReg := *metricsPath != "" || needSampler
 	var tel *telemetry.Telemetry
-	if *metricsPath != "" || *tracePath != "" || *traceJSONLPath != "" {
+	if needReg || *tracePath != "" || *traceJSONLPath != "" {
 		tel = &telemetry.Telemetry{Detail: *traceDetail}
-		if *metricsPath != "" {
+		if needReg {
 			tel.Metrics = telemetry.NewRegistry()
 		}
 		if *tracePath != "" || *traceJSONLPath != "" {
 			tel.Tracer = telemetry.NewTracer()
 		}
-		telemetry.Default = tel
-		defer func() { telemetry.Default = nil }()
+		if needSampler {
+			tel.Sampler = telemetry.NewSampler(tel.Metrics,
+				sim.Time(*sampleIntervalUS)*sim.Microsecond, *sampleCap)
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var selected []string
+	for _, e := range exps {
+		if all || want[e.name] {
+			selected = append(selected, e.name)
+		}
+	}
+	var srv *obsServer
+	if *serveAddr != "" {
+		var err error
+		srv, err = startServer(*serveAddr, tel, selected)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "serving on http://%s\n", srv.Addr())
+		defer srv.Close()
 	}
 
 	// Run every selected experiment even when an earlier one fails: a broken
@@ -125,28 +178,51 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	// reported per experiment id and make the whole run exit non-zero.
 	ran := 0
 	var failed []string
-	for _, e := range exps {
-		if !all && !want[e.name] {
-			continue
+	runSelected := func() {
+		for _, e := range exps {
+			if !all && !want[e.name] {
+				continue
+			}
+			if *progress {
+				fmt.Fprintf(stderr, "running %s...\n", e.name)
+			}
+			srv.markRunning(e.name)
+			err := e.run(stdout)
+			srv.markDone(e.name, err != nil)
+			if tel != nil {
+				srv.publish(tel.Reg())
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.name, err)
+				failed = append(failed, e.name)
+			} else {
+				fmt.Fprintln(stdout)
+			}
+			ran++
 		}
-		if *progress {
-			fmt.Fprintf(stderr, "running %s...\n", e.name)
-		}
-		if err := e.run(stdout); err != nil {
-			fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.name, err)
-			failed = append(failed, e.name)
-		} else {
-			fmt.Fprintln(stdout)
-		}
-		ran++
+	}
+	if tel != nil {
+		telemetry.WithDefault(tel, runSelected)
+	} else {
+		runSelected()
 	}
 	if ran == 0 {
 		fmt.Fprintln(stderr, "no experiments selected")
 		return 2
 	}
 
+	if *memProfile != "" {
+		if code := writeMemProfile(*memProfile, stderr); code != 0 {
+			return code
+		}
+	}
 	if tel != nil {
-		if code := writeOutputs(tel, *metricsPath, *tracePath, *traceJSONLPath, stderr); code != 0 {
+		paths := outputPaths{
+			metrics: *metricsPath, trace: *tracePath, traceJSONL: *traceJSONLPath,
+			samplesCSV: *samplesCSV, samplesJSON: *samplesJSON,
+			report: *reportPath, title: "adcpsim -exp " + *expFlag,
+		}
+		if code := writeOutputs(tel, paths, stderr); code != 0 {
 			return code
 		}
 	}
@@ -157,8 +233,32 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// writeMemProfile snapshots the heap (after a GC, so the profile reflects
+// live objects rather than garbage) into path.
+func writeMemProfile(path string, stderr io.Writer) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "memprofile: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(stderr, "memprofile: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// outputPaths collects every post-run artifact the CLI can write.
+type outputPaths struct {
+	metrics, trace, traceJSONL string
+	samplesCSV, samplesJSON    string
+	report, title              string
+}
+
 // writeOutputs serializes the telemetry sinks to the requested files.
-func writeOutputs(tel *telemetry.Telemetry, metricsPath, tracePath, traceJSONLPath string, stderr io.Writer) int {
+func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stderr io.Writer) int {
 	write := func(path, what string, fn func(io.Writer) error) int {
 		f, err := os.Create(path)
 		if err != nil {
@@ -172,18 +272,39 @@ func writeOutputs(tel *telemetry.Telemetry, metricsPath, tracePath, traceJSONLPa
 		}
 		return 0
 	}
-	if metricsPath != "" {
-		if c := write(metricsPath, "metrics", tel.Metrics.WriteJSON); c != 0 {
+	if p.metrics != "" {
+		if c := write(p.metrics, "metrics", tel.Metrics.WriteJSON); c != 0 {
 			return c
 		}
 	}
-	if tracePath != "" {
-		if c := write(tracePath, "trace", tel.Tracer.WriteChromeTrace); c != 0 {
+	if p.trace != "" {
+		if c := write(p.trace, "trace", tel.Tracer.WriteChromeTrace); c != 0 {
 			return c
 		}
 	}
-	if traceJSONLPath != "" {
-		if c := write(traceJSONLPath, "trace-jsonl", tel.Tracer.WriteJSONL); c != 0 {
+	if p.traceJSONL != "" {
+		if c := write(p.traceJSONL, "trace-jsonl", tel.Tracer.WriteJSONL); c != 0 {
+			return c
+		}
+	}
+	if p.samplesCSV != "" {
+		if c := write(p.samplesCSV, "samples-csv", tel.Sampler.WriteCSV); c != 0 {
+			return c
+		}
+	}
+	if p.samplesJSON != "" {
+		if c := write(p.samplesJSON, "samples-json", tel.Sampler.WriteJSON); c != 0 {
+			return c
+		}
+	}
+	if p.report != "" {
+		rep := report.Report{
+			Title:      p.title,
+			Snapshot:   tel.Metrics.Snapshot(),
+			Series:     tel.Sampler.Series(),
+			IntervalPs: int64(tel.Sampler.Interval()),
+		}
+		if c := write(p.report, "report", func(w io.Writer) error { return report.Write(w, rep) }); c != 0 {
 			return c
 		}
 	}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// obsServer is the live observability plane behind -serve: an HTTP server
+// that exposes the run while it executes. The simulation stays
+// single-goroutine; the server goroutines only ever read immutable
+// Snapshots published by the simulation side (per experiment boundary, and
+// throttled per sampler tick), never the live registry — so no lock is
+// shared between a request handler and a packet's hot path.
+//
+// Endpoints:
+//
+//	/metrics   Prometheus text exposition of the latest published snapshot
+//	/healthz   liveness probe ("ok")
+//	/progress  JSON per-experiment state with wall and simulated time
+//	/debug/pprof/...  standard pprof handlers
+type obsServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	sampler *telemetry.Sampler
+
+	snap atomic.Pointer[telemetry.Snapshot]
+
+	mu      sync.Mutex
+	order   []string
+	states  map[string]*expState
+	started time.Time
+	lastPub time.Time
+}
+
+type expState struct {
+	Name   string  `json:"name"`
+	State  string  `json:"state"` // pending | running | done | failed
+	WallMs float64 `json:"wall_ms"`
+
+	startedAt time.Time
+}
+
+// progressDoc is the /progress response body.
+type progressDoc struct {
+	WallMs      float64    `json:"wall_ms"`
+	SimRun      int        `json:"sim_run"`
+	SimTPs      int64      `json:"sim_t_ps"`
+	Experiments []expState `json:"experiments"`
+}
+
+// serveReady, when non-nil, is invoked with the bound address right after
+// the listener opens — a test hook for -serve 127.0.0.1:0.
+var serveReady func(addr string)
+
+// publishThrottle bounds how often sampler ticks re-snapshot the registry
+// for /metrics; experiment boundaries always publish.
+const publishThrottle = 100 * time.Millisecond
+
+// startServer binds addr and serves the observability plane for tel. The
+// caller must Close it when the run ends.
+func startServer(addr string, tel *telemetry.Telemetry, expNames []string) (*obsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &obsServer{
+		ln:      ln,
+		sampler: tel.Samp(),
+		states:  make(map[string]*expState),
+		started: time.Now(),
+	}
+	for _, n := range expNames {
+		s.order = append(s.order, n)
+		s.states[n] = &expState{Name: n, State: "pending"}
+	}
+	s.publish(tel.Reg())
+
+	// Sampler ticks run on the simulation goroutine — the safe place to
+	// read the registry — so publishing from OnSample keeps /metrics fresh
+	// mid-experiment without the server ever touching live metrics.
+	if sp := tel.Samp(); sp != nil {
+		reg := tel.Reg()
+		sp.OnSample = func(run int, at sim.Time) {
+			s.mu.Lock()
+			due := time.Since(s.lastPub) >= publishThrottle
+			s.mu.Unlock()
+			if due {
+				s.publish(reg)
+			}
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if snap := s.snap.Load(); snap != nil {
+			telemetry.WritePrometheusSnapshot(w, *snap)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.progress())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	if serveReady != nil {
+		serveReady(ln.Addr().String())
+	}
+	return s, nil
+}
+
+// Addr returns the bound address (resolves ":0").
+func (s *obsServer) Addr() string { return s.ln.Addr().String() }
+
+// publish snapshots reg and swaps it in for /metrics. Called only from the
+// simulation/main goroutine. Nil-safe.
+func (s *obsServer) publish(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	s.snap.Store(&snap)
+	s.mu.Lock()
+	s.lastPub = time.Now()
+	s.mu.Unlock()
+}
+
+// markRunning flags an experiment as started. Nil-safe.
+func (s *obsServer) markRunning(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.states[name]; ok {
+		st.State = "running"
+		st.startedAt = time.Now()
+	}
+}
+
+// markDone records an experiment's outcome and wall time. Nil-safe.
+func (s *obsServer) markDone(name string, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.states[name]; ok {
+		st.State = "done"
+		if failed {
+			st.State = "failed"
+		}
+		st.WallMs = float64(time.Since(st.startedAt)) / float64(time.Millisecond)
+	}
+}
+
+// progress assembles the /progress document.
+func (s *obsServer) progress() progressDoc {
+	run, at := s.sampler.Last()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := progressDoc{
+		WallMs: float64(time.Since(s.started)) / float64(time.Millisecond),
+		SimRun: run,
+		SimTPs: int64(at),
+	}
+	for _, n := range s.order {
+		st := *s.states[n]
+		if st.State == "running" {
+			st.WallMs = float64(time.Since(st.startedAt)) / float64(time.Millisecond)
+		}
+		doc.Experiments = append(doc.Experiments, st)
+	}
+	return doc
+}
+
+// Close stops accepting and tears down the listener. Nil-safe.
+func (s *obsServer) Close() {
+	if s == nil {
+		return
+	}
+	s.srv.Close()
+}

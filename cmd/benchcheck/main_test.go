@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const schemaHead = `{"schema":"adcp-metrics/1","metrics":[`
+
+func writeDoc(t *testing.T, dir, name, metrics string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(schemaHead+metrics+"]}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runCheck(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestBenchcheckOK(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json",
+		`{"name":"exp.a","kind":"value","value":100},{"name":"exp.b","kind":"value","value":2.5,"labels":{"k":"v"}}`)
+	cur := writeDoc(t, dir, "cur.json",
+		`{"name":"exp.a","kind":"value","value":110},{"name":"exp.b","kind":"value","value":2.5,"labels":{"k":"v"}},{"name":"exp.new","kind":"value","value":9}`)
+	code, out, errw := runCheck(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	if !strings.Contains(out, "OK") {
+		t.Errorf("stdout missing OK: %q", out)
+	}
+}
+
+func TestBenchcheckDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", `{"name":"exp.a","kind":"value","value":100}`)
+	cur := writeDoc(t, dir, "cur.json", `{"name":"exp.a","kind":"value","value":130}`)
+	code, _, errw := runCheck(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errw, "exp.a") || !strings.Contains(errw, "drift 30.0%") {
+		t.Errorf("stderr = %q", errw)
+	}
+	// The same drift passes with a looser tolerance.
+	if code, _, _ := runCheck(t, "-baseline", base, "-current", cur, "-tol", "0.5"); code != 0 {
+		t.Errorf("exit = %d with tol 0.5, want 0", code)
+	}
+}
+
+func TestBenchcheckMissingSeries(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json",
+		`{"name":"exp.a","kind":"value","value":1},{"name":"exp.gone","kind":"value","value":1,"labels":{"p":"0"}}`)
+	cur := writeDoc(t, dir, "cur.json", `{"name":"exp.a","kind":"value","value":1}`)
+	code, _, errw := runCheck(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errw, "exp.gone{p=0}: missing") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestBenchcheckZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", `{"name":"exp.z","kind":"value","value":0}`)
+	okCur := writeDoc(t, dir, "ok.json", `{"name":"exp.z","kind":"value","value":0.1}`)
+	badCur := writeDoc(t, dir, "bad.json", `{"name":"exp.z","kind":"value","value":5}`)
+	if code, _, errw := runCheck(t, "-baseline", base, "-current", okCur); code != 0 {
+		t.Errorf("zero-baseline small value: exit %d (%q)", code, errw)
+	}
+	if code, _, _ := runCheck(t, "-baseline", base, "-current", badCur); code != 1 {
+		t.Errorf("zero-baseline large value: exit %d, want 1", code)
+	}
+}
+
+func TestBenchcheckBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, _ := runCheck(t); code != 2 {
+		t.Errorf("missing -current: exit %d, want 2", code)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"wrong/9","metrics":[]}`), 0o644)
+	good := writeDoc(t, dir, "good.json", `{"name":"a","kind":"value","value":1}`)
+	if code, _, errw := runCheck(t, "-baseline", bad, "-current", good); code != 2 || !strings.Contains(errw, "schema") {
+		t.Errorf("bad schema: exit %d, stderr %q", code, errw)
+	}
+}

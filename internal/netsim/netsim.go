@@ -125,6 +125,12 @@ type Network struct {
 	detail              bool
 	pid                 int
 	txTID, swTID, rxTID int
+
+	// e2eLat holds one bounded latency histogram per host port (nil when
+	// metrics are off): simulated time from a packet's transmission start
+	// to its delivery at the destination host, including recirculation
+	// passes and link/switch queueing.
+	e2eLat []*telemetry.Histogram
 }
 
 // New builds a network around the switch.
@@ -162,7 +168,17 @@ func (n *Network) instrument(tel *telemetry.Telemetry) {
 		reg.ObserveFunc("net.errors", func() float64 { return float64(len(n.errs)) }, ls...)
 		reg.ObserveFunc("net.engine.fired_events", func() float64 { return float64(n.eng.Fired()) }, ls...)
 		pending := reg.Gauge("net.engine.pending_events", ls...)
-		n.eng.SetDispatchHook(func(at sim.Time, p int, fired uint64) { pending.Set(int64(p)) })
+		n.eng.AddDispatchHook(func(at sim.Time, p int, fired uint64) { pending.Set(int64(p)) })
+		n.e2eLat = make([]*telemetry.Histogram, n.cfg.Hosts)
+		for i := range n.e2eLat {
+			n.e2eLat[i] = reg.Histogram("net.e2e_latency_ps",
+				telemetry.L("net", inst), telemetry.L("port", fmt.Sprintf("%d", i)))
+		}
+	}
+	// The sampler hook runs after the gauge hook above, so each sample
+	// reads an up-to-date queue depth.
+	if sp := tel.Samp(); sp != nil {
+		sp.Attach(n.eng)
 	}
 	if tr != nil {
 		n.tr = tr
@@ -227,21 +243,23 @@ func (n *Network) SendAt(src int, pkt *packet.Packet, at sim.Time) {
 		}
 		n.tracker.Send(cfID, n.eng.Now(), pkt.WireLen())
 		n.injected++
-		n.eng.Schedule(arrive, func() { n.arriveAtSwitch(pkt) })
+		n.eng.Schedule(arrive, func() { n.arriveAtSwitch(pkt, start) })
 	})
 }
 
 // arriveAtSwitch runs the switch synchronously and schedules deliveries.
 // With a service rate configured, arrivals wait for the switch to free up
-// and each traversal (including recirculated passes) occupies it.
-func (n *Network) arriveAtSwitch(pkt *packet.Packet) {
+// and each traversal (including recirculated passes) occupies it. sentAt
+// is the packet's transmission start, threaded through to delivery so the
+// end-to-end latency histogram sees the full path.
+func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time) {
 	var counter TraversalCounter
 	if n.cfg.ServiceRatePPS > 0 {
 		counter, _ = n.sw.(TraversalCounter)
 	}
 	if counter != nil && n.swBusyUntil > n.eng.Now() {
 		at := n.swBusyUntil
-		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt) })
+		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt, sentAt) })
 		return
 	}
 	var before uint64
@@ -291,15 +309,18 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet) {
 			n.tr.Complete(start, done-start, "rx", "net", n.pid, n.rxTID,
 				map[string]any{"host": dst, "bytes": out.WireLen()})
 		}
-		n.eng.Schedule(arrive, func() { n.deliver(dst, out) })
+		n.eng.Schedule(arrive, func() { n.deliver(dst, out, sentAt) })
 	}
 }
 
-func (n *Network) deliver(dst int, p *packet.Packet) {
+func (n *Network) deliver(dst int, p *packet.Packet, sentAt sim.Time) {
 	h := n.hosts[dst]
 	h.Received = append(h.Received, p)
 	h.RxBytes += uint64(p.WireLen())
 	n.delivered++
+	if n.e2eLat != nil {
+		n.e2eLat[dst].Observe(float64(n.eng.Now() - sentAt))
+	}
 	var d packet.Decoded
 	cfID := uint32(0)
 	if err := d.DecodePacket(p); err == nil {

@@ -1,0 +1,326 @@
+// Package report renders a completed run's telemetry — registry snapshot
+// plus sampled time series — as one self-contained HTML document: inline
+// CSS, inline SVG charts, no JavaScript, no external assets. The file can
+// be mailed, archived next to experiment output, or opened from a file://
+// URL years later and still render. Output is deterministic for
+// deterministic inputs, so reports diff cleanly across commits.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// chart geometry (pixels inside the SVG viewBox).
+const (
+	chartW    = 720
+	chartH    = 220
+	chartPadL = 64
+	chartPadR = 12
+	chartPadT = 10
+	chartPadB = 28
+)
+
+// palette colors successive polylines within one chart. Chosen for contrast
+// on a white background; cycles when a chart has more series than colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#17becf", "#8c564b", "#e377c2",
+}
+
+// Report is everything the generator needs from a run.
+type Report struct {
+	// Title heads the document ("adcpsim run", an experiment list, ...).
+	Title string
+	// Snapshot is the final registry state (histograms, counters, results).
+	Snapshot telemetry.Snapshot
+	// Series are the sampled time series (may be empty; the time-series
+	// section is omitted then).
+	Series []telemetry.SeriesData
+	// IntervalPs is the sampling period behind Series, for the caption.
+	IntervalPs int64
+}
+
+// Write renders the report as one self-contained HTML page.
+func Write(w io.Writer, r Report) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(r.Title))
+	b.WriteString("<style>\n" + css + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.Title))
+	fmt.Fprintf(&b, "<p class=\"meta\">metrics schema %s · %d series sampled",
+		html.EscapeString(r.Snapshot.Schema), len(r.Series))
+	if r.IntervalPs > 0 {
+		fmt.Fprintf(&b, " every %s", html.EscapeString(psString(r.IntervalPs)))
+	}
+	b.WriteString("</p>\n")
+
+	writeHeadlines(&b, r.Snapshot)
+	writeHistTables(&b, r.Snapshot)
+	writeCharts(&b, r.Series)
+
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHeadlines renders every KindValue metric as one results table.
+func writeHeadlines(b *strings.Builder, snap telemetry.Snapshot) {
+	var rows []telemetry.MetricSnapshot
+	for _, m := range snap.Metrics {
+		if m.Kind == telemetry.KindValue {
+			rows = append(rows, m)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	b.WriteString("<h2>Results</h2>\n<table>\n<tr><th>metric</th><th>labels</th><th>value</th></tr>\n")
+	for _, m := range rows {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td class=\"num\">%g</td></tr>\n",
+			html.EscapeString(m.Name), html.EscapeString(labelText(m.Labels)), m.Value)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeHistTables renders one percentile table per histogram family — e.g.
+// net.e2e_latency_ps becomes a per-port latency table.
+func writeHistTables(b *strings.Builder, snap telemetry.Snapshot) {
+	byName := map[string][]telemetry.MetricSnapshot{}
+	var names []string
+	for _, m := range snap.Metrics {
+		if m.Kind != telemetry.KindHistogram || m.Hist == nil || m.Hist.Count == 0 {
+			continue
+		}
+		if _, ok := byName[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	b.WriteString("<h2>Latency distributions</h2>\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "<h3>%s</h3>\n<table>\n", html.EscapeString(name))
+		b.WriteString("<tr><th>labels</th><th>count</th><th>mean</th><th>p50</th><th>p90</th><th>p99</th><th>min</th><th>max</th></tr>\n")
+		for _, m := range byName[name] {
+			h := m.Hist
+			fmt.Fprintf(b,
+				"<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%g</td><td class=\"num\">%g</td><td class=\"num\">%g</td><td class=\"num\">%g</td><td class=\"num\">%g</td><td class=\"num\">%g</td></tr>\n",
+				html.EscapeString(labelText(m.Labels)), h.Count, h.Mean, h.P50, h.P90, h.P99, h.Min, h.Max)
+		}
+		b.WriteString("</table>\n")
+	}
+}
+
+// chartGroup is one chart: every sampled series sharing a metric name,
+// split further per run (engines restart their clocks, so mixing runs on
+// one time axis would fold timelines over each other).
+type chartGroup struct {
+	name  string
+	run   int
+	lines []chartLine
+}
+
+type chartLine struct {
+	label string
+	pts   []telemetry.Point
+}
+
+// writeCharts renders one inline-SVG line chart per (metric name, run).
+func writeCharts(b *strings.Builder, series []telemetry.SeriesData) {
+	groups := groupSeries(series)
+	if len(groups) == 0 {
+		return
+	}
+	b.WriteString("<h2>Time series</h2>\n")
+	for _, g := range groups {
+		title := g.name
+		if multiRun(groups) {
+			title = fmt.Sprintf("%s (run %d)", g.name, g.run)
+		}
+		fmt.Fprintf(b, "<h3>%s</h3>\n", html.EscapeString(title))
+		writeSVG(b, g)
+	}
+}
+
+func multiRun(groups []chartGroup) bool {
+	for _, g := range groups {
+		if g.run != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// groupSeries splits sampled series into chart groups, sorted by name then
+// run; lines within a group sort by label text.
+func groupSeries(series []telemetry.SeriesData) []chartGroup {
+	type gkey struct {
+		name string
+		run  int
+	}
+	acc := map[gkey]*chartGroup{}
+	for _, sd := range series {
+		byRun := map[int][]telemetry.Point{}
+		for _, p := range sd.Points {
+			byRun[p.Run] = append(byRun[p.Run], p)
+		}
+		for run, pts := range byRun {
+			if len(pts) < 2 {
+				continue // a single point draws nothing useful
+			}
+			k := gkey{sd.Name, run}
+			g, ok := acc[k]
+			if !ok {
+				g = &chartGroup{name: sd.Name, run: run}
+				acc[k] = g
+			}
+			g.lines = append(g.lines, chartLine{label: labelText(sd.Labels), pts: pts})
+		}
+	}
+	out := make([]chartGroup, 0, len(acc))
+	for _, g := range acc {
+		sort.Slice(g.lines, func(i, j int) bool { return g.lines[i].label < g.lines[j].label })
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].run < out[j].run
+	})
+	return out
+}
+
+// writeSVG renders one chart group as an inline SVG with a legend.
+func writeSVG(b *strings.Builder, g chartGroup) {
+	tMin, tMax := g.lines[0].pts[0].T, g.lines[0].pts[0].T
+	vMin, vMax := g.lines[0].pts[0].V, g.lines[0].pts[0].V
+	for _, ln := range g.lines {
+		for _, p := range ln.pts {
+			if p.T < tMin {
+				tMin = p.T
+			}
+			if p.T > tMax {
+				tMax = p.T
+			}
+			if p.V < vMin {
+				vMin = p.V
+			}
+			if p.V > vMax {
+				vMax = p.V
+			}
+		}
+	}
+	if vMin > 0 {
+		vMin = 0 // anchor counts and depths at zero
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	tSpan := float64(tMax - tMin)
+	if tSpan == 0 {
+		tSpan = 1
+	}
+	plotW := float64(chartW - chartPadL - chartPadR)
+	plotH := float64(chartH - chartPadT - chartPadB)
+	x := func(t int64) float64 { return float64(chartPadL) + float64(t-int64(tMin))/tSpan*plotW }
+	y := func(v float64) float64 {
+		return float64(chartPadT) + (1-(v-vMin)/(vMax-vMin))*plotH
+	}
+
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\">\n",
+		chartW, chartH, chartW, chartH)
+	// Axes.
+	fmt.Fprintf(b, "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" class=\"plot\"/>\n",
+		chartPadL, chartPadT, plotW, plotH)
+	// Y-axis extremes and x-axis extent labels.
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" class=\"ax\" text-anchor=\"end\">%g</text>\n",
+		chartPadL-6, chartPadT+10, vMax)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%.0f\" class=\"ax\" text-anchor=\"end\">%g</text>\n",
+		chartPadL-6, float64(chartPadT)+plotH, vMin)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" class=\"ax\">%s</text>\n",
+		chartPadL, chartH-8, html.EscapeString(psString(int64(tMin))))
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" class=\"ax\" text-anchor=\"end\">%s</text>\n",
+		chartW-chartPadR, chartH-8, html.EscapeString(psString(int64(tMax))))
+	for i, ln := range g.lines {
+		color := palette[i%len(palette)]
+		var pb strings.Builder
+		for j, p := range ln.pts {
+			if j > 0 {
+				pb.WriteByte(' ')
+			}
+			fmt.Fprintf(&pb, "%.1f,%.1f", x(int64(p.T)), y(p.V))
+		}
+		fmt.Fprintf(b, "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" points=\"%s\"/>\n",
+			color, pb.String())
+	}
+	b.WriteString("</svg>\n")
+	// Legend.
+	b.WriteString("<p class=\"legend\">")
+	for i, ln := range g.lines {
+		if i > 0 {
+			b.WriteString(" &nbsp; ")
+		}
+		label := ln.label
+		if label == "" {
+			label = "(no labels)"
+		}
+		fmt.Fprintf(b, "<span style=\"color:%s\">&#9632;</span> %s",
+			palette[i%len(palette)], html.EscapeString(label))
+	}
+	b.WriteString("</p>\n")
+}
+
+// labelText renders a label map as sorted "k=v" pairs.
+func labelText(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// psString renders a picosecond quantity with an adaptive unit.
+func psString(ps int64) string {
+	switch {
+	case ps >= 1_000_000_000_000:
+		return fmt.Sprintf("%gs", float64(ps)/1e12)
+	case ps >= 1_000_000_000:
+		return fmt.Sprintf("%gms", float64(ps)/1e9)
+	case ps >= 1_000_000:
+		return fmt.Sprintf("%gus", float64(ps)/1e6)
+	case ps >= 1_000:
+		return fmt.Sprintf("%gns", float64(ps)/1e3)
+	default:
+		return fmt.Sprintf("%dps", ps)
+	}
+}
+
+const css = `body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 60em; color: #1a1a1a; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 1.6em; } h3 { font-size: 1em; margin-bottom: 0.3em; }
+.meta { color: #666; }
+table { border-collapse: collapse; margin: 0.5em 0 1.2em; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left; }
+th { background: #f2f2f2; } td.num { text-align: right; font-variant-numeric: tabular-nums; }
+svg { display: block; }
+svg .plot { fill: none; stroke: #999; stroke-width: 1; }
+svg .ax { font: 10px system-ui, sans-serif; fill: #555; }
+.legend { font-size: 12px; color: #333; margin: 0.2em 0 1.2em; }
+`

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// buildRun produces a registry + sampled series resembling a small run:
+// four scalar series over one engine, a per-port latency histogram, and a
+// headline result.
+func buildRun(t *testing.T) Report {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tx0 := reg.Counter("net.tx_pkts", telemetry.L("port", "0"))
+	tx1 := reg.Counter("net.tx_pkts", telemetry.L("port", "1"))
+	depth := reg.Gauge("switch.tm.pending_pkts")
+	occ := reg.Gauge("switch.tm.occupancy_bytes")
+	for p := 0; p < 2; p++ {
+		h := reg.Histogram("net.e2e_latency_ps", telemetry.L("port", string(rune('0'+p))))
+		for i := 1; i <= 50; i++ {
+			h.Observe(float64(i*(p+1)) * 100)
+		}
+	}
+	reg.Set("exp.goodput_gbps", 42.5, telemetry.L("exp", "demo"))
+
+	sp := telemetry.NewSampler(reg, 10*sim.Microsecond, 0)
+	eng := sim.NewEngine()
+	sp.Attach(eng)
+	for i := 1; i <= 20; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*5*sim.Microsecond, func() {
+			tx0.Inc()
+			tx1.Add(2)
+			depth.Set(int64(i % 5))
+			occ.Set(int64(i * 100))
+		})
+	}
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return Report{
+		Title:      "demo run",
+		Snapshot:   reg.Snapshot(),
+		Series:     sp.Series(),
+		IntervalPs: int64(sp.Interval()),
+	}
+}
+
+func render(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, buildRun(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestReportSelfContained(t *testing.T) {
+	out := render(t)
+	for _, banned := range []string{"<script", "http://", "https://", "<link", "@import", "url("} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report references external content: found %q", banned)
+		}
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "</html>", "<svg ", "</svg>", "<style>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportHasSampledCharts(t *testing.T) {
+	out := render(t)
+	// Four scalar series → four polylines across the charts.
+	if n := strings.Count(out, "<polyline"); n < 4 {
+		t.Errorf("report has %d polylines, want >= 4", n)
+	}
+	for _, name := range []string{"net.tx_pkts", "switch.tm.pending_pkts", "switch.tm.occupancy_bytes"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("report missing chart for %s", name)
+		}
+	}
+}
+
+func TestReportLatencyTables(t *testing.T) {
+	out := render(t)
+	if !strings.Contains(out, "net.e2e_latency_ps") {
+		t.Fatal("report missing latency table")
+	}
+	for _, col := range []string{"<th>p50</th>", "<th>p90</th>", "<th>p99</th>"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("latency table missing column %s", col)
+		}
+	}
+	// Both ports appear as rows.
+	if !strings.Contains(out, "port=0") || !strings.Contains(out, "port=1") {
+		t.Error("latency table missing per-port rows")
+	}
+	// Headline result renders.
+	if !strings.Contains(out, "exp.goodput_gbps") || !strings.Contains(out, "42.5") {
+		t.Error("results table missing headline metric")
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	if render(t) != render(t) {
+		t.Error("report differs across identical runs")
+	}
+}
+
+func TestReportEscapesTitle(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, Report{Title: `<img src=x onerror=alert(1)>`, Snapshot: telemetry.Snapshot{Schema: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<img") {
+		t.Error("title not HTML-escaped")
+	}
+}
+
+func TestReportEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.NewRegistry()
+	reg.Counter("lonely").Inc()
+	if err := Write(&buf, Report{Title: "empty", Snapshot: reg.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<svg") {
+		t.Error("empty series produced a chart")
+	}
+	if !strings.Contains(out, "</html>") {
+		t.Error("document truncated")
+	}
+}

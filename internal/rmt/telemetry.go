@@ -3,20 +3,24 @@ package rmt
 import (
 	"fmt"
 
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
 // Instrument attaches the switch to a telemetry sink: per-switch counters
 // become lazily-evaluated registry metrics (zero hot-path cost), the TM
-// reports buffer occupancy and drops, and — when a tracer is present —
-// every pipeline routes its Observer events into sim-time trace tracks.
-// now supplies the surrounding network's clock; nil means all trace events
-// land at t=0 (synchronous harnesses).
+// reports buffer occupancy, drops, and per-packet queueing delay, pipeline
+// traversal latency lands in a bounded histogram, and — when a tracer is
+// present — every pipeline routes its Observer events into sim-time trace
+// tracks. now supplies the surrounding network's clock; nil means all
+// trace events land at t=0 (synchronous harnesses) and queueing delays
+// read 0.
 //
-// Instrument installs pipeline and TM observers, replacing any the caller
-// set earlier; callers that need their own observers should install them
-// after Instrument (telemetry then loses those streams, not vice versa).
+// Instrument installs pipeline and TM observers (and the TM clock),
+// replacing any the caller set earlier; callers that need their own
+// observers should install them after Instrument (telemetry then loses
+// those streams, not vice versa).
 func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	if !tel.Enabled() {
 		return
@@ -31,28 +35,60 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	}
 	ls := []telemetry.Label{telemetry.L("arch", "rmt"), telemetry.L("instance", inst)}
 	var occ *telemetry.Gauge
+	var tmWait *telemetry.Histogram
+	var lat map[string]*telemetry.Histogram
 	if reg != nil {
 		reg.ObserveFunc("switch.delivered_pkts", func() float64 { return float64(s.delivered) }, ls...)
 		reg.ObserveFunc("switch.delivered_bytes", func() float64 { return float64(s.deliveredBytes) }, ls...)
 		reg.ObserveFunc("switch.recirc_traversals", func() float64 { return float64(s.recircTraversals) }, ls...)
 		reg.ObserveFunc("switch.misrouted_pkts", func() float64 { return float64(s.misrouted) }, ls...)
 		reg.ObserveFunc("switch.ingress_traversals", func() float64 { return float64(s.IngressTraversals()) }, ls...)
+		withLabel := func(k, v string) []telemetry.Label {
+			return append(append([]telemetry.Label(nil), ls...), telemetry.L(k, v))
+		}
 		occ = telemetry.InstrumentTM(reg, s.tmgr, ls, "tm")
+		tmWait = reg.Histogram("switch.tm.wait_ps", withLabel("tm", "tm")...)
+		lat = map[string]*telemetry.Histogram{
+			"ingress": reg.Histogram("switch.pipeline.latency_ps", withLabel("role", "ingress")...),
+			"egress":  reg.Histogram("switch.pipeline.latency_ps", withLabel("role", "egress")...),
+		}
+		instrumentPipelines(reg, ls, "ingress", s.ingress)
+		instrumentPipelines(reg, ls, "egress", s.egress)
 	}
+	s.tmgr.SetClock(now)
 	pid := tr.NewProcess("rmt/" + inst)
 	tmTID := tr.NewThread(pid, "tm")
-	if obs := telemetry.TMObserver(occ, tr, tel.Detail, now, "tm", pid, tmTID); obs != nil {
+	if obs := telemetry.TMObserver(occ, tmWait, tr, tel.Detail, now, "tm", pid, tmTID); obs != nil {
 		s.tmgr.SetObserver(obs)
 	}
-	if tr != nil {
-		hz := s.cfg.Pipe.ClockHz
-		for i, p := range s.ingress {
-			tid := tr.NewThread(pid, fmt.Sprintf("ingress%d", i))
-			p.SetObserver(telemetry.PipelineObserver(tr, tel.Detail, now, hz, pid, tid))
+	hz := s.cfg.Pipe.ClockHz
+	attach := func(role string, ps []*pipeline.Pipeline) {
+		for i, p := range ps {
+			tid := 0
+			if tr != nil {
+				tid = tr.NewThread(pid, fmt.Sprintf("%s%d", role, i))
+			}
+			var h *telemetry.Histogram
+			if lat != nil {
+				h = lat[role]
+			}
+			if obs := telemetry.PipelineObserver(h, tr, tel.Detail, now, hz, pid, tid); obs != nil {
+				p.SetObserver(obs)
+			}
 		}
-		for i, p := range s.egress {
-			tid := tr.NewThread(pid, fmt.Sprintf("egress%d", i))
-			p.SetObserver(telemetry.PipelineObserver(tr, tel.Detail, now, hz, pid, tid))
-		}
+	}
+	attach("ingress", s.ingress)
+	attach("egress", s.egress)
+}
+
+// instrumentPipelines exports each pipeline's cumulative traversal count as
+// a per-pipe series (role + pipe labels) — the sampler turns these into
+// stage-utilization time series.
+func instrumentPipelines(reg *telemetry.Registry, base []telemetry.Label, role string, ps []*pipeline.Pipeline) {
+	for i, p := range ps {
+		p := p
+		ls := append(append([]telemetry.Label(nil), base...),
+			telemetry.L("role", role), telemetry.L("pipe", fmt.Sprintf("%d", i)))
+		reg.ObserveFunc("switch.pipeline.traversals", func() float64 { return float64(p.Packets()) }, ls...)
 	}
 }

@@ -103,7 +103,7 @@ type Engine struct {
 	queue   eventHeap
 	fired   uint64
 	stopped bool
-	hook    DispatchHook
+	hooks   []DispatchHook
 }
 
 // DispatchHook observes each dispatched event: the time it fired, the queue
@@ -122,9 +122,27 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// SetDispatchHook installs h, called once per dispatched event; nil removes
-// it. The hook costs one nil check per event when unset.
-func (e *Engine) SetDispatchHook(h DispatchHook) { e.hook = h }
+// SetDispatchHook installs h as the only dispatch hook, discarding any
+// hooks added earlier; nil removes all hooks. The hook chain costs one
+// length check per event when empty.
+func (e *Engine) SetDispatchHook(h DispatchHook) {
+	if h == nil {
+		e.hooks = nil
+		return
+	}
+	e.hooks = []DispatchHook{h}
+}
+
+// AddDispatchHook appends h to the dispatch hook chain, leaving earlier
+// hooks in place. Hooks run in installation order before the event's own
+// callback, so an occupancy gauge installed before a sampler is already
+// up to date when the sampler reads it.
+func (e *Engine) AddDispatchHook(h DispatchHook) {
+	if h == nil {
+		return
+	}
+	e.hooks = append(e.hooks, h)
+}
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it always indicates a modeling bug, and silently
@@ -169,8 +187,8 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		if e.hook != nil {
-			e.hook(ev.at, len(e.queue), e.fired)
+		for _, h := range e.hooks {
+			h(ev.at, len(e.queue), e.fired)
 		}
 		ev.fn()
 		return true

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Quantile(0.5) != 0 || h.Stddev() != 0 || h.Buckets() != 0 {
+		t.Fatal("zero LogHist must report zeros everywhere")
+	}
+}
+
+func TestLogHistExactStats(t *testing.T) {
+	var h LogHist
+	vals := []float64{5, 1, 4, 2, 3, 0, -2.5}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != len(vals) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), sum)
+	}
+	if h.Min() != -2.5 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %g/%g, want -2.5/5", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), sum/float64(len(vals)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %g, want %g", got, want)
+	}
+	// Extremes are exact regardless of bucketing.
+	if h.Quantile(0) != -2.5 || h.Quantile(1) != 5 {
+		t.Fatalf("Quantile extremes = %g/%g", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// Quantiles must track the exact Histogram within the documented relative
+// error bound on random data spanning several orders of magnitude.
+func TestLogHistQuantileErrorVsExact(t *testing.T) {
+	const tol = 0.05 // acceptance bound; actual design bound is ~1.6%
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		var exact Histogram
+		var lh LogHist
+		n := 1000 + rng.Intn(9000)
+		for i := 0; i < n; i++ {
+			// Log-uniform over [1e-3, 1e6): the regime of latencies in ps.
+			v := math.Pow(10, rng.Float64()*9-3)
+			exact.Observe(v)
+			lh.Observe(v)
+		}
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			want := exact.Quantile(q)
+			got := lh.Quantile(q)
+			if rel := math.Abs(got-want) / want; rel > tol {
+				t.Errorf("trial %d q=%g: LogHist=%g exact=%g rel err %.3f > %g",
+					trial, q, got, want, rel, tol)
+			}
+		}
+	}
+}
+
+// Memory must stay O(buckets) no matter how many observations arrive.
+func TestLogHistBoundedMemory(t *testing.T) {
+	var h LogHist
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200000; i++ {
+		h.Observe(math.Pow(10, rng.Float64()*6)) // [1, 1e6)
+	}
+	if h.Count() != 200000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// 6 decades ≈ 20 octaves × 32 sub-buckets = 640 possible buckets.
+	if b := h.Buckets(); b > 700 {
+		t.Fatalf("Buckets = %d, want O(hundreds) independent of 200k observations", b)
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var a, b, whole LogHist
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := rng.ExpFloat64() * 1000
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), whole.Count())
+	}
+	// Sums differ only by float addition order.
+	if math.Abs(a.Sum()-whole.Sum()) > 1e-9*math.Abs(whole.Sum()) {
+		t.Fatalf("merged sum = %g, want %g", a.Sum(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %g/%g, want %g/%g", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q=%g: merged %g != whole %g (merge must be lossless)", q, got, want)
+		}
+	}
+	// Merging into an empty histogram copies o.
+	var c LogHist
+	c.Merge(&whole)
+	if c.Count() != whole.Count() || c.Quantile(0.5) != whole.Quantile(0.5) {
+		t.Error("merge into empty lost data")
+	}
+}
+
+func TestLogHistNegativeAndZero(t *testing.T) {
+	var h LogHist
+	for _, v := range []float64{-100, -10, -1, 0, 0, 1, 10, 100} {
+		h.Observe(v)
+	}
+	// Median of 8 values (nearest rank 4) is the second zero → 0.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("median = %g, want 0", got)
+	}
+	if got := h.Quantile(0.125); math.Abs(got-(-100))/100 > 0.05 {
+		t.Fatalf("q0.125 = %g, want ≈ -100", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %g, want 100", got)
+	}
+}
+
+func TestLogHistReset(t *testing.T) {
+	var h LogHist
+	h.Observe(5)
+	h.Observe(-5)
+	h.Observe(0)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	h.Observe(3)
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("post-reset median = %g, want 3", h.Quantile(0.5))
+	}
+}
+
+// Stddev must agree with the exact histogram (both are moment-based).
+func TestLogHistStddev(t *testing.T) {
+	var h LogHist
+	var e Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+		e.Observe(v)
+	}
+	if got, want := h.Stddev(), e.Stddev(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Stddev = %g, want %g", got, want)
+	}
+}

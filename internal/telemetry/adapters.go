@@ -7,59 +7,20 @@ import (
 )
 
 // PipelineObserver adapts a pipeline's existing Observer stream into
-// sim-time trace events. now supplies the current simulated time (the
-// engine clock of the surrounding network, or a constant for synchronous
-// harnesses); clockHz converts the pipeline's modeled cycles into
-// simulated durations.
+// telemetry. now supplies the current simulated time (the engine clock of
+// the surrounding network, or a constant for synchronous harnesses);
+// clockHz converts the pipeline's modeled cycles into simulated durations.
 //
-// With detail=false only per-traversal summaries are emitted (one complete
-// event per EvDone, plus an instant for each recirculation request); with
-// detail=true every stage visit becomes an instant event — stage occupancy
-// at full resolution, at a large event-volume cost.
-// InstrumentTM registers one shared-memory traffic manager's counters under
-// the base labels plus a tm=<which> dimension, all lazily evaluated at
-// snapshot time, and returns an occupancy gauge for a TMObserver to feed
-// (its peak then appears in the export).
-func InstrumentTM(reg *Registry, t *tm.SharedMemoryTM, base []Label, which string) *Gauge {
-	ls := make([]Label, 0, len(base)+1)
-	ls = append(ls, base...)
-	ls = append(ls, L("tm", which))
-	reg.ObserveFunc("switch.tm.enqueued_pkts", func() float64 { return float64(t.Enqueued()) }, ls...)
-	reg.ObserveFunc("switch.tm.dequeued_pkts", func() float64 { return float64(t.Dequeued()) }, ls...)
-	reg.ObserveFunc("switch.tm.dropped_pkts", func() float64 { return float64(t.Dropped()) }, ls...)
-	reg.ObserveFunc("switch.tm.peak_bytes", func() float64 { return float64(t.PeakOccupancy()) }, ls...)
-	return reg.Gauge("switch.tm.occupancy_bytes", ls...)
-}
-
-// TMObserver adapts a traffic manager's Observer stream into telemetry:
-// shared-buffer occupancy into gauge g (which then also tracks the peak),
-// tail drops as instant trace events, and — with detail — an occupancy
-// counter sample per operation (a Perfetto counter track). Either sink may
-// be nil; with both nil the returned observer is nil, so the TM keeps its
-// unobserved fast path.
-func TMObserver(g *Gauge, tr *Tracer, detail bool, now func() sim.Time, name string, pid, tid int) tm.Observer {
-	if g == nil && tr == nil {
-		return nil
-	}
-	return func(ev tm.Event) {
-		if g != nil {
-			g.Set(int64(ev.OccupancyBytes))
-		}
-		if tr == nil {
-			return
-		}
-		if ev.Op == tm.OpDrop {
-			tr.Instant(now(), name+".drop", "tm", pid, tid,
-				map[string]any{"bytes": ev.Bytes, "queue": ev.Output})
-		} else if detail {
-			tr.Counter(now(), name+".occupancy_bytes", pid,
-				map[string]float64{"bytes": float64(ev.OccupancyBytes)})
-		}
-	}
-}
-
-func PipelineObserver(tr *Tracer, detail bool, now func() sim.Time, clockHz float64, pid, tid int) pipeline.Observer {
-	if tr == nil {
+// lat, when non-nil, receives every traversal's latency in picoseconds — a
+// bounded log-bucketed histogram, so million-packet runs cost O(buckets)
+// memory. tr, when non-nil, receives trace events: with detail=false only
+// per-traversal summaries (one complete event per EvDone, plus an instant
+// for each recirculation request); with detail=true every stage visit
+// becomes an instant event — stage occupancy at full resolution, at a
+// large event-volume cost. With both sinks nil the returned observer is
+// nil, keeping the pipeline's unobserved fast path.
+func PipelineObserver(lat *Histogram, tr *Tracer, detail bool, now func() sim.Time, clockHz float64, pid, tid int) pipeline.Observer {
+	if lat == nil && tr == nil {
 		return nil
 	}
 	cycleDur := func(cycles int) sim.Time {
@@ -71,21 +32,75 @@ func PipelineObserver(tr *Tracer, detail bool, now func() sim.Time, clockHz floa
 	return func(ev pipeline.Event) {
 		switch ev.Kind {
 		case pipeline.EvDone:
+			if lat != nil {
+				lat.Observe(float64(cycleDur(ev.Cycles)))
+			}
+			if tr == nil {
+				return
+			}
 			tr.Complete(now(), cycleDur(ev.Cycles), "traversal", "pipeline", pid, tid,
 				map[string]any{"cycles": ev.Cycles, "verdict": ev.Verdict.String()})
 			if ev.Verdict == pipeline.VerdictRecirculate {
 				tr.Instant(now(), "recirculate", "pipeline", pid, tid, nil)
 			}
 		case pipeline.EvStage:
-			if detail {
+			if tr != nil && detail {
 				tr.Instant(now(), "stage", "pipeline", pid, tid,
 					map[string]any{"stage": ev.Stage, "cycles": ev.Cycles})
 			}
 		case pipeline.EvParsed, pipeline.EvDeparsed:
-			if detail {
+			if tr != nil && detail {
 				tr.Instant(now(), ev.Kind.String(), "pipeline", pid, tid,
 					map[string]any{"cycles": ev.Cycles})
 			}
+		}
+	}
+}
+
+// InstrumentTM registers one shared-memory traffic manager's counters under
+// the base labels plus a tm=<which> dimension, all lazily evaluated at
+// snapshot time, and returns an occupancy gauge for a TMObserver to feed
+// (its peak then appears in the export). The pending-packet count is also
+// registered so the sampler can plot live queue depth.
+func InstrumentTM(reg *Registry, t *tm.SharedMemoryTM, base []Label, which string) *Gauge {
+	ls := make([]Label, 0, len(base)+1)
+	ls = append(ls, base...)
+	ls = append(ls, L("tm", which))
+	reg.ObserveFunc("switch.tm.enqueued_pkts", func() float64 { return float64(t.Enqueued()) }, ls...)
+	reg.ObserveFunc("switch.tm.dequeued_pkts", func() float64 { return float64(t.Dequeued()) }, ls...)
+	reg.ObserveFunc("switch.tm.dropped_pkts", func() float64 { return float64(t.Dropped()) }, ls...)
+	reg.ObserveFunc("switch.tm.peak_bytes", func() float64 { return float64(t.PeakOccupancy()) }, ls...)
+	reg.ObserveFunc("switch.tm.pending_pkts", func() float64 { return float64(t.Pending()) }, ls...)
+	return reg.Gauge("switch.tm.occupancy_bytes", ls...)
+}
+
+// TMObserver adapts a traffic manager's Observer stream into telemetry:
+// shared-buffer occupancy into gauge g (which then also tracks the peak),
+// per-packet queueing delay into histogram wait (valid dequeues only —
+// requires the TM to carry a clock via SetClock), tail drops as instant
+// trace events, and — with detail — an occupancy counter sample per
+// operation (a Perfetto counter track). Any sink may be nil; with all nil
+// the returned observer is nil, so the TM keeps its unobserved fast path.
+func TMObserver(g *Gauge, wait *Histogram, tr *Tracer, detail bool, now func() sim.Time, name string, pid, tid int) tm.Observer {
+	if g == nil && wait == nil && tr == nil {
+		return nil
+	}
+	return func(ev tm.Event) {
+		if g != nil {
+			g.Set(int64(ev.OccupancyBytes))
+		}
+		if wait != nil && ev.Op == tm.OpDequeue && ev.WaitPs >= 0 {
+			wait.Observe(float64(ev.WaitPs))
+		}
+		if tr == nil {
+			return
+		}
+		if ev.Op == tm.OpDrop {
+			tr.Instant(now(), name+".drop", "tm", pid, tid,
+				map[string]any{"bytes": ev.Bytes, "queue": ev.Output})
+		} else if detail {
+			tr.Counter(now(), name+".occupancy_bytes", pid,
+				map[string]float64{"bytes": float64(ev.OccupancyBytes)})
 		}
 	}
 }

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// Snapshot. Metric names are sanitized ('.' and any other invalid rune →
+// '_') and prefixed with "adcp_"; label values are escaped per the format
+// (backslash, double-quote, newline). Families are emitted contiguously in
+// snapshot order (sorted by name, then labels), each preceded by # HELP
+// and # TYPE lines, so output is deterministic for a deterministic
+// snapshot.
+//
+// Kind mapping:
+//
+//	counter          → counter
+//	gauge/func/value → gauge   (gauge peaks export as a second
+//	                            <name>_peak gauge family)
+//	histogram        → summary (quantile 0.5/0.9/0.99 + _sum + _count)
+
+// PromNamePrefix namespaces every exported metric family.
+const PromNamePrefix = "adcp_"
+
+// promName sanitizes a registry metric name into a Prometheus name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(PromNamePrefix)
+	for _, r := range name {
+		// Digits are fine anywhere here: the prefix supplies the
+		// non-digit first character the format requires.
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':',
+			r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label key ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders a sorted label block ({k="v",...}), optionally with
+// one extra label appended (the summary quantile). Labels in a
+// MetricSnapshot map marshal here in sorted key order for determinism.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// Insertion-sorted tiny slices; snapshot labels are already few.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promLabelName(k), promEscape(labels[k]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, promEscape(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promType maps a metric kind to its exposition TYPE.
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "summary"
+	default:
+		return "gauge"
+	}
+}
+
+// WritePrometheusSnapshot renders snap in the Prometheus text exposition
+// format. Rendering from an immutable Snapshot (rather than the live
+// Registry) lets a serving goroutine expose metrics while the simulation
+// goroutine keeps mutating them: the simulation publishes snapshots at
+// safe points and the server renders whichever one is current.
+func WritePrometheusSnapshot(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	// Group consecutive snapshot entries into families by exported name.
+	// The snapshot is sorted by name, so families are contiguous; peaks
+	// are buffered per family and emitted as a trailing _peak family.
+	type peakSample struct {
+		labels map[string]string
+		v      int64
+	}
+	var family string
+	var peaks []peakSample
+	flushPeaks := func() error {
+		if len(peaks) == 0 {
+			return nil
+		}
+		name := family + "_peak"
+		fmt.Fprintf(bw, "# HELP %s Peak value of gauge %s over the run.\n", name, family)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		for _, p := range peaks {
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(p.labels, "", ""), promFloat(float64(p.v)))
+		}
+		peaks = peaks[:0]
+		return nil
+	}
+
+	for _, m := range snap.Metrics {
+		name := promName(m.Name)
+		if name != family {
+			if err := flushPeaks(); err != nil {
+				return err
+			}
+			family = name
+			fmt.Fprintf(bw, "# HELP %s %s metric %s from the adcp simulator registry.\n",
+				name, promType(m.Kind), m.Name)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, promType(m.Kind))
+		}
+		switch m.Kind {
+		case KindHistogram:
+			h := m.Hist
+			if h == nil {
+				continue
+			}
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "quantile", q.q), promFloat(q.v))
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(m.Labels, "", ""), promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(m.Labels, "", ""), h.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+			if m.Peak != nil {
+				peaks = append(peaks, peakSample{labels: m.Labels, v: *m.Peak})
+			}
+		}
+	}
+	if err := flushPeaks(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus renders the registry's current state in the Prometheus
+// text exposition format. For concurrent serving, prefer publishing
+// snapshots from the simulation goroutine and rendering those.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusSnapshot(w, r.Snapshot())
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	promMetricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9].*|[+-]Inf|NaN)$`)
+	promHelpLine   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	promTypeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+)
+
+// parseProm validates the exposition line by line and returns, per family,
+// the declared TYPE and the sample lines. It enforces the invariants the
+// format requires: HELP then TYPE precede a family's samples, families are
+// contiguous, and every sample line parses.
+func parseProm(t *testing.T, text string) (types map[string]string, samples map[string][]string) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string][]string)
+	var family string // family declared by the current HELP/TYPE block
+	seen := make(map[string]bool)
+	lines := strings.Split(text, "\n")
+	if lines[len(lines)-1] != "" {
+		t.Fatal("exposition does not end in newline")
+	}
+	lines = lines[:len(lines)-1]
+	for i, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			m := promHelpLine.FindStringSubmatch(ln)
+			if m == nil {
+				t.Fatalf("line %d: bad HELP line %q", i+1, ln)
+			}
+			if seen[m[1]] {
+				t.Fatalf("line %d: family %s not contiguous (re-declared)", i+1, m[1])
+			}
+			seen[m[1]] = true
+			family = m[1]
+		case strings.HasPrefix(ln, "# TYPE "):
+			m := promTypeLine.FindStringSubmatch(ln)
+			if m == nil {
+				t.Fatalf("line %d: bad TYPE line %q", i+1, ln)
+			}
+			if m[1] != family {
+				t.Fatalf("line %d: TYPE %s does not follow its HELP (current family %s)", i+1, m[1], family)
+			}
+			types[m[1]] = m[2]
+		case strings.HasPrefix(ln, "#"):
+			t.Fatalf("line %d: unexpected comment %q", i+1, ln)
+		default:
+			m := promMetricLine.FindStringSubmatch(ln)
+			if m == nil {
+				t.Fatalf("line %d: unparsable sample %q", i+1, ln)
+			}
+			name := m[1]
+			base := family
+			// Summaries emit <family>_sum / <family>_count samples.
+			if name != base && name != base+"_sum" && name != base+"_count" {
+				t.Fatalf("line %d: sample %s outside family %s", i+1, name, base)
+			}
+			samples[family] = append(samples[family], ln)
+		}
+	}
+	return types, samples
+}
+
+func buildPromRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("net.tx_pkts", L("port", "0")).Add(7)
+	reg.Counter("net.tx_pkts", L("port", "1")).Add(9)
+	g := reg.Gauge("switch.tm.occupancy_bytes", L("arch", "rmt"))
+	g.Set(1500)
+	g.Set(300)
+	h := reg.Histogram("net.e2e_latency_ps", L("port", "0"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1000)
+	}
+	reg.Set("exp.goodput_gbps", 96.5, L("exp", "baseline"))
+	reg.ObserveFunc("switch.pending_pkts", func() float64 { return 3 })
+	return reg
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := buildPromRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, buf.String())
+
+	wantTypes := map[string]string{
+		"adcp_net_tx_pkts":                    "counter",
+		"adcp_switch_tm_occupancy_bytes":      "gauge",
+		"adcp_switch_tm_occupancy_bytes_peak": "gauge",
+		"adcp_net_e2e_latency_ps":             "summary",
+		"adcp_exp_goodput_gbps":               "gauge",
+		"adcp_switch_pending_pkts":            "gauge",
+	}
+	for fam, typ := range wantTypes {
+		if types[fam] != typ {
+			t.Errorf("family %s TYPE = %q, want %q", fam, types[fam], typ)
+		}
+	}
+
+	if n := len(samples["adcp_net_tx_pkts"]); n != 2 {
+		t.Errorf("counter family has %d samples, want 2 (one per port)", n)
+	}
+	// Summary: 3 quantiles + _sum + _count.
+	if n := len(samples["adcp_net_e2e_latency_ps"]); n != 5 {
+		t.Errorf("summary family has %d samples, want 5: %v", n, samples["adcp_net_e2e_latency_ps"])
+	}
+	var hasQ, hasSum, hasCount bool
+	for _, ln := range samples["adcp_net_e2e_latency_ps"] {
+		if strings.Contains(ln, `quantile="0.5"`) {
+			hasQ = true
+		}
+		if strings.HasPrefix(ln, "adcp_net_e2e_latency_ps_sum") {
+			hasSum = true
+		}
+		if strings.HasPrefix(ln, "adcp_net_e2e_latency_ps_count{port=\"0\"} 100") {
+			hasCount = true
+		}
+	}
+	if !hasQ || !hasSum || !hasCount {
+		t.Errorf("summary missing quantile/sum/count: %v", samples["adcp_net_e2e_latency_ps"])
+	}
+	// Gauge peak reflects the high-water mark, not the final value.
+	peak := samples["adcp_switch_tm_occupancy_bytes_peak"]
+	if len(peak) != 1 || !strings.HasSuffix(peak[0], " 1500") {
+		t.Errorf("peak family = %v, want one sample of 1500", peak)
+	}
+	cur := samples["adcp_switch_tm_occupancy_bytes"]
+	if len(cur) != 1 || !strings.HasSuffix(cur[0], " 300") {
+		t.Errorf("gauge family = %v, want one sample of 300", cur)
+	}
+}
+
+func TestPrometheusDeterministicOrdering(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := buildPromRegistry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("exposition differs between identical registries")
+	}
+	// Port labels within one family must appear sorted.
+	i0 := strings.Index(a, `adcp_net_tx_pkts{port="0"}`)
+	i1 := strings.Index(a, `adcp_net_tx_pkts{port="1"}`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("per-label ordering wrong: port=0 at %d, port=1 at %d", i0, i1)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("weird.series", L("path", `C:\dir`), L("quote", `say "hi"`), L("nl", "a\nb")).Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`path="C:\\dir"`, `quote="say \"hi\""`, `nl="a\nb"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing escaped label %s in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("escaped newline leaked into output:\n%q", out)
+	}
+	// The whole thing must still parse.
+	parseProm(t, out)
+}
+
+func TestPrometheusNameMangling(t *testing.T) {
+	for in, want := range map[string]string{
+		"net.e2e_latency_ps": "adcp_net_e2e_latency_ps",
+		"a-b c":              "adcp_a_b_c",
+		"9lives":             "adcp_9lives",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promLabelName("0day"); got != "_day" {
+		t.Errorf("promLabelName(0day) = %q", got)
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// driveSampledRun builds a registry with a counter and a gauge, attaches a
+// sampler to a fresh engine, and runs a small deterministic event pattern.
+func driveSampledRun(t *testing.T, interval sim.Time, capacity int) *Sampler {
+	t.Helper()
+	reg := NewRegistry()
+	c := reg.Counter("pkts", L("port", "0"))
+	g := reg.Gauge("depth")
+	sp := NewSampler(reg, interval, capacity)
+	eng := sim.NewEngine()
+	sp.Attach(eng)
+	for i := 1; i <= 40; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*3*sim.Microsecond, func() {
+			c.Inc()
+			g.Set(int64(i % 7))
+		})
+	}
+	eng.Run()
+	return sp
+}
+
+func TestSamplerGridStamping(t *testing.T) {
+	sp := driveSampledRun(t, 10*sim.Microsecond, 0)
+	for _, sd := range sp.Series() {
+		if len(sd.Points) == 0 {
+			t.Fatalf("series %s has no points", sd.Name)
+		}
+		for _, p := range sd.Points {
+			if p.T%(10*sim.Microsecond) != 0 {
+				t.Errorf("series %s point at t=%d not on 10us grid", sd.Name, p.T)
+			}
+		}
+		// Baseline sample at t=0 plus one per crossed boundary.
+		if sd.Points[0].T != 0 {
+			t.Errorf("series %s first point at t=%d, want 0", sd.Name, sd.Points[0].T)
+		}
+	}
+}
+
+func TestSamplerSeriesValues(t *testing.T) {
+	sp := driveSampledRun(t, 10*sim.Microsecond, 0)
+	for _, sd := range sp.Series() {
+		if sd.Name != "pkts" {
+			continue
+		}
+		if sd.Labels["port"] != "0" {
+			t.Fatalf("pkts labels = %v, want port=0", sd.Labels)
+		}
+		// Events land at 3,6,...,120us. A sample stamped t reflects state
+		// just before the first event at or past the boundary, so at t=30us
+		// events 3..27us (9 of them) have fired.
+		for _, p := range sd.Points {
+			if p.T == 30*sim.Microsecond && p.V != 9 {
+				t.Errorf("pkts at 30us = %g, want 9", p.V)
+			}
+		}
+	}
+}
+
+func TestSamplerRingBounded(t *testing.T) {
+	sp := driveSampledRun(t, 10*sim.Microsecond, 4)
+	for _, sd := range sp.Series() {
+		if len(sd.Points) > 4 {
+			t.Fatalf("series %s holds %d points, cap 4", sd.Name, len(sd.Points))
+		}
+		if sd.Dropped == 0 {
+			t.Errorf("series %s dropped = 0, want > 0 (13 samples into cap 4)", sd.Name)
+		}
+		// Ring keeps the newest points, oldest-first.
+		for i := 1; i < len(sd.Points); i++ {
+			if sd.Points[i].T <= sd.Points[i-1].T {
+				t.Fatalf("series %s points out of order: %v", sd.Name, sd.Points)
+			}
+		}
+		if last := sd.Points[len(sd.Points)-1].T; last != 120*sim.Microsecond {
+			t.Errorf("series %s newest point at t=%d, want 120us", sd.Name, last)
+		}
+	}
+}
+
+func TestSamplerExportDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		sp := driveSampledRun(t, 10*sim.Microsecond, 0)
+		var csv, js bytes.Buffer
+		if err := sp.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), js.String()
+	}
+	csv1, js1 := render()
+	csv2, js2 := render()
+	if csv1 != csv2 {
+		t.Error("CSV export differs between identical runs")
+	}
+	if js1 != js2 {
+		t.Error("JSON export differs between identical runs")
+	}
+	if !strings.HasPrefix(csv1, "name,labels,run,t_ps,value\n") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv1, "\n", 2)[0])
+	}
+	var doc struct {
+		Schema     string `json:"schema"`
+		IntervalPs int64  `json:"interval_ps"`
+		Runs       int    `json:"runs"`
+		Series     []SeriesData
+	}
+	if err := json.Unmarshal([]byte(js1), &doc); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if doc.Schema != SamplesSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, SamplesSchema)
+	}
+	if doc.Runs != 1 || doc.IntervalPs != int64(10*sim.Microsecond) {
+		t.Errorf("runs=%d interval=%d", doc.Runs, doc.IntervalPs)
+	}
+	if len(doc.Series) != 2 {
+		t.Errorf("series count = %d, want 2", len(doc.Series))
+	}
+}
+
+func TestSamplerMultiRun(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pkts")
+	sp := NewSampler(reg, 10*sim.Microsecond, 0)
+	for run := 0; run < 2; run++ {
+		eng := sim.NewEngine()
+		sp.Attach(eng)
+		eng.Schedule(15*sim.Microsecond, func() { c.Inc() })
+		eng.Run()
+	}
+	if sp.Runs() != 2 {
+		t.Fatalf("Runs() = %d, want 2", sp.Runs())
+	}
+	ser := sp.Series()
+	if len(ser) != 1 {
+		t.Fatalf("series count = %d", len(ser))
+	}
+	runsSeen := map[int]bool{}
+	for _, p := range ser[0].Points {
+		runsSeen[p.Run] = true
+	}
+	if !runsSeen[0] || !runsSeen[1] {
+		t.Errorf("points span runs %v, want both 0 and 1", runsSeen)
+	}
+	run, at := sp.Last()
+	if run != 1 || at != 10*sim.Microsecond {
+		t.Errorf("Last() = run %d at %d", run, at)
+	}
+}
+
+func TestSamplerOnSampleCallback(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pkts")
+	sp := NewSampler(reg, 10*sim.Microsecond, 0)
+	calls := 0
+	sp.OnSample = func(run int, at sim.Time) {
+		calls++
+		if run != 0 {
+			t.Errorf("OnSample run = %d", run)
+		}
+	}
+	eng := sim.NewEngine()
+	sp.Attach(eng)
+	eng.Schedule(15*sim.Microsecond, func() {})
+	eng.Schedule(25*sim.Microsecond, func() {})
+	eng.Run()
+	// Baseline + stamps at 10us (event at 15us) and 20us (event at 25us).
+	if calls != 3 {
+		t.Errorf("OnSample fired %d times, want 3", calls)
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var sp *Sampler
+	sp.Attach(sim.NewEngine())
+	sp.Sample(0, 0)
+	if sp.Series() != nil || sp.Runs() != 0 {
+		t.Error("nil sampler not inert")
+	}
+	if run, at := sp.Last(); run != 0 || at != 0 {
+		t.Error("nil sampler Last not zero")
+	}
+}

@@ -25,6 +25,10 @@ type Telemetry struct {
 	Metrics *Registry
 	// Tracer receives sim-time structured events. Nil disables tracing.
 	Tracer *Tracer
+	// Sampler, when non-nil, is attached to every engine built under this
+	// hub (netsim.New) and periodically snapshots the registry's scalar
+	// metrics into bounded time series. Requires Metrics.
+	Sampler *Sampler
 	// Detail enables high-volume trace events (per-stage pipeline events
 	// rather than only per-traversal summaries).
 	Detail bool
@@ -58,4 +62,24 @@ func (t *Telemetry) Reg() *Registry {
 		return nil
 	}
 	return t.Metrics
+}
+
+// Samp returns the sampler, or nil. Safe on a nil receiver.
+func (t *Telemetry) Samp() *Sampler {
+	if t == nil {
+		return nil
+	}
+	return t.Sampler
+}
+
+// WithDefault installs t as the process-wide Default for the duration of
+// fn, restoring the previous value even when fn panics. Harnesses (the
+// CLI, benchmarks, tests) should always use this instead of assigning
+// Default directly: a panicking experiment must not leak a stale global
+// sink into the next run.
+func WithDefault(t *Telemetry, fn func()) {
+	prev := Default
+	Default = t
+	defer func() { Default = prev }()
+	fn()
 }

@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+func TestWithDefault(t *testing.T) {
+	if Default != nil {
+		t.Fatal("Default not nil at test start")
+	}
+	tel := &Telemetry{Metrics: NewRegistry()}
+	WithDefault(tel, func() {
+		if Default != tel {
+			t.Error("Default not installed inside fn")
+		}
+	})
+	if Default != nil {
+		t.Error("Default not restored after fn")
+	}
+}
+
+func TestWithDefaultNests(t *testing.T) {
+	outer := &Telemetry{Metrics: NewRegistry()}
+	inner := &Telemetry{Metrics: NewRegistry()}
+	WithDefault(outer, func() {
+		WithDefault(inner, func() {
+			if Default != inner {
+				t.Error("inner Default not installed")
+			}
+		})
+		if Default != outer {
+			t.Error("outer Default not restored after inner fn")
+		}
+	})
+}
+
+func TestWithDefaultRestoresOnPanic(t *testing.T) {
+	tel := &Telemetry{Metrics: NewRegistry()}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		WithDefault(tel, func() { panic("boom") })
+	}()
+	if Default != nil {
+		t.Error("Default leaked after panicking fn")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 // Op classifies a TM observer event.
@@ -55,6 +56,10 @@ type Event struct {
 	Output         int
 	Bytes          int
 	OccupancyBytes int
+	// WaitPs is the simulated queueing delay of a dequeued packet — how
+	// long it sat buffered. Valid only for OpDequeue on a TM with a clock
+	// installed (SetClock); -1 otherwise.
+	WaitPs int64
 }
 
 // Observer receives one Event per enqueue, dequeue, and drop.
@@ -75,6 +80,11 @@ type SharedMemoryTM struct {
 	peakBytes int
 
 	obs Observer
+
+	// clock, when set, timestamps enqueues so dequeues can report the
+	// packet's queueing delay (Event.WaitPs). times mirrors queues.
+	clock func() sim.Time
+	times [][]sim.Time
 }
 
 // NewSharedMemoryTM builds a TM with numOutputs queues sharing bufferBytes.
@@ -95,6 +105,26 @@ func (t *SharedMemoryTM) Outputs() int { return len(t.queues) }
 // observer costs one nil check per operation when unset.
 func (t *SharedMemoryTM) SetObserver(obs Observer) { t.obs = obs }
 
+// SetClock installs the simulated-time source used to measure per-packet
+// queueing delay; nil removes it (and stops the per-packet timestamping).
+// Packets already buffered when the clock is installed report WaitPs -1:
+// their timestamp slots are back-filled with a sentinel so the timestamp
+// queue stays aligned with the packet queue.
+func (t *SharedMemoryTM) SetClock(clock func() sim.Time) {
+	t.clock = clock
+	if clock == nil {
+		return
+	}
+	if t.times == nil {
+		t.times = make([][]sim.Time, len(t.queues))
+	}
+	for out, q := range t.queues {
+		for len(t.times[out]) < len(q) {
+			t.times[out] = append(t.times[out], -1)
+		}
+	}
+}
+
 // Enqueue appends p to output queue out. It returns false (and drops the
 // packet) when the shared buffer cannot hold it.
 func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
@@ -105,18 +135,21 @@ func (t *SharedMemoryTM) Enqueue(out int, p *packet.Packet) bool {
 	if t.usedBytes+n > t.bufBytes {
 		t.dropped++
 		if t.obs != nil {
-			t.obs(Event{Op: OpDrop, Output: out, Bytes: n, OccupancyBytes: t.usedBytes})
+			t.obs(Event{Op: OpDrop, Output: out, Bytes: n, OccupancyBytes: t.usedBytes, WaitPs: -1})
 		}
 		return false
 	}
 	t.queues[out] = append(t.queues[out], p)
+	if t.clock != nil {
+		t.times[out] = append(t.times[out], t.clock())
+	}
 	t.usedBytes += n
 	if t.usedBytes > t.peakBytes {
 		t.peakBytes = t.usedBytes
 	}
 	t.enqueued++
 	if t.obs != nil {
-		t.obs(Event{Op: OpEnqueue, Output: out, Bytes: n, OccupancyBytes: t.usedBytes})
+		t.obs(Event{Op: OpEnqueue, Output: out, Bytes: n, OccupancyBytes: t.usedBytes, WaitPs: -1})
 	}
 	return true
 }
@@ -146,10 +179,17 @@ func (t *SharedMemoryTM) Dequeue(out int) *packet.Packet {
 	}
 	p := q[0]
 	t.queues[out] = q[1:]
+	wait := int64(-1)
+	if t.clock != nil && len(t.times[out]) > 0 {
+		if at := t.times[out][0]; at >= 0 {
+			wait = int64(t.clock() - at)
+		}
+		t.times[out] = t.times[out][1:]
+	}
 	t.usedBytes -= p.WireLen()
 	t.dequeued++
 	if t.obs != nil {
-		t.obs(Event{Op: OpDequeue, Output: out, Bytes: p.WireLen(), OccupancyBytes: t.usedBytes})
+		t.obs(Event{Op: OpDequeue, Output: out, Bytes: p.WireLen(), OccupancyBytes: t.usedBytes, WaitPs: wait})
 	}
 	return p
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 func mkPkt(payload int) *packet.Packet {
@@ -461,11 +462,12 @@ func TestSharedMemoryObserverEvents(t *testing.T) {
 		t.Fatalf("events = %d: %v", len(events), events)
 	}
 	wl := a.WireLen()
+	// Without a clock installed, every event reports WaitPs -1 (unknown).
 	want := []Event{
-		{Op: OpEnqueue, Output: 0, Bytes: wl, OccupancyBytes: wl},
-		{Op: OpEnqueue, Output: 1, Bytes: wl, OccupancyBytes: 2 * wl},
-		{Op: OpDrop, Output: 0, Bytes: wl, OccupancyBytes: 2 * wl},
-		{Op: OpDequeue, Output: 1, Bytes: wl, OccupancyBytes: wl},
+		{Op: OpEnqueue, Output: 0, Bytes: wl, OccupancyBytes: wl, WaitPs: -1},
+		{Op: OpEnqueue, Output: 1, Bytes: wl, OccupancyBytes: 2 * wl, WaitPs: -1},
+		{Op: OpDrop, Output: 0, Bytes: wl, OccupancyBytes: 2 * wl, WaitPs: -1},
+		{Op: OpDequeue, Output: 1, Bytes: wl, OccupancyBytes: wl, WaitPs: -1},
 	}
 	for i, w := range want {
 		if events[i] != w {
@@ -476,6 +478,40 @@ func TestSharedMemoryObserverEvents(t *testing.T) {
 	// the final one must agree with the live Occupancy.
 	if last := events[len(events)-1]; last.OccupancyBytes != m.Occupancy() {
 		t.Errorf("final occupancy %d, TM says %d", last.OccupancyBytes, m.Occupancy())
+	}
+}
+
+// With a clock installed, dequeues report the simulated time the packet
+// spent buffered; packets enqueued before the clock existed report -1.
+func TestSharedMemoryQueueingDelay(t *testing.T) {
+	m := NewSharedMemoryTM(1, 1<<20)
+	m.Enqueue(0, mkPkt(0)) // pre-clock: no timestamp
+	var now sim.Time
+	m.SetClock(func() sim.Time { return now })
+	now = 100
+	m.Enqueue(0, mkPkt(0))
+	now = 250
+	m.Enqueue(0, mkPkt(0))
+
+	var waits []int64
+	m.SetObserver(func(ev Event) {
+		if ev.Op == OpDequeue {
+			waits = append(waits, ev.WaitPs)
+		}
+	})
+	now = 1000
+	m.Dequeue(0) // pre-clock packet
+	m.Dequeue(0) // waited 1000-100
+	now = 1500
+	m.Dequeue(0) // waited 1500-250
+	want := []int64{-1, 900, 1250}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Errorf("wait %d = %d, want %d", i, waits[i], want[i])
+		}
 	}
 }
 
