@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-check experiments tables examples cover clean ci
+.PHONY: all build test bench bench-check soak experiments tables examples cover clean ci
 
 all: build test
 
@@ -24,6 +24,14 @@ BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|Benc
 bench-check:
 	BENCH_JSON=/tmp/bench_current.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
 	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20
+
+# Chaos soak: random fault plans (loss, corruption, link-down windows,
+# host crashes, switch stalls) against the network with recovery enabled;
+# asserts ledger conservation and coflow completion for every seed.
+# Override the sweep width with SOAK_SEEDS=<n>.
+SOAK_SEEDS ?= 200
+soak:
+	SOAK_SEEDS=$(SOAK_SEEDS) go test -run TestChaosSoak -v ./internal/netsim/
 
 # Every table and figure of the paper.
 experiments:

@@ -54,6 +54,7 @@ func defaultExperiments() []experiment {
 		{"buffer", "TM buffer sizing under incast", runBuffer},
 		{"cachehit", "cache hit rate vs size under Zipf GETs", runCacheHit},
 		{"saturation", "recirculation tax as completion time under load", runSaturation},
+		{"faults", "fault/recovery loss sweep: CCT inflation RMT vs ADCP", runFaults},
 	}
 }
 
@@ -460,6 +461,15 @@ func runCacheHit(w io.Writer) error {
 
 func runSaturation(w io.Writer) error {
 	t, _, err := experiments.Saturation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, t)
+	return nil
+}
+
+func runFaults(w io.Writer) error {
+	t, _, err := experiments.Faults(nil)
 	if err != nil {
 		return err
 	}

@@ -120,6 +120,17 @@ type Status struct {
 	DeliverPkts  int
 	DeliverBytes uint64
 	DroppedPkts  int
+	// LostPkts counts transmission attempts destroyed by injected faults
+	// (loss, corruption, down links, crashed hosts). Unlike DroppedPkts —
+	// which is terminal — a lost attempt may be retransmitted and the
+	// packet still delivered.
+	LostPkts int
+	// RetransmitPkts counts recovery retransmissions (uplink resends and
+	// downlink redeliveries).
+	RetransmitPkts int
+	// DuplicatePkts counts duplicate copies suppressed before reaching the
+	// switch program (a retransmitted copy whose original had arrived).
+	DuplicatePkts int
 	// ExpectedDeliveries: completion is declared when DeliverPkts reaches
 	// this (set by Expect); 0 means "unknown, never complete".
 	ExpectedDeliveries int
@@ -177,8 +188,19 @@ func (t *Tracker) Deliver(id uint32, now sim.Time, bytes int) {
 	}
 }
 
-// Drop records a packet lost in the switch.
+// Drop records a packet terminally lost (switch error, hostless port,
+// exhausted retry budget, or a fault with no recovery configured).
 func (t *Tracker) Drop(id uint32) { t.get(id).DroppedPkts++ }
+
+// Lose records a transmission attempt destroyed by an injected fault. The
+// packet itself may still be delivered later via retransmission.
+func (t *Tracker) Lose(id uint32) { t.get(id).LostPkts++ }
+
+// Retransmit records one recovery retransmission (either leg).
+func (t *Tracker) Retransmit(id uint32) { t.get(id).RetransmitPkts++ }
+
+// Duplicate records a duplicate copy suppressed before the switch program.
+func (t *Tracker) Duplicate(id uint32) { t.get(id).DuplicatePkts++ }
 
 // Status returns the tracked state of a coflow (nil if never seen).
 func (t *Tracker) Status(id uint32) *Status { return t.coflows[id] }
@@ -190,14 +212,47 @@ func (t *Tracker) Done(id uint32) bool {
 }
 
 // CheckConservation verifies that no tracked coflow delivered more packets
-// than could exist: deliveries ≤ sends + switch-generated allowance. The
-// allowance covers switch-side results (aggregation produces packets the
-// hosts never sent). It returns an error naming the first violating coflow.
+// than could exist: deliveries ≤ sends + retransmissions + switch-generated
+// allowance. The allowance covers switch-side results (aggregation produces
+// packets the hosts never sent); on a clean run RetransmitPkts is zero and
+// the bound reduces to the classic deliveries ≤ sends + generated. It also
+// applies the allowance-free invariants of CheckInvariants. It returns an
+// error naming the first violating coflow.
 func (t *Tracker) CheckConservation(generatedAllowance int) error {
 	for id, s := range t.coflows {
-		if s.DeliverPkts > s.SentPkts+generatedAllowance {
-			return fmt.Errorf("coflow %d: delivered %d > sent %d + generated %d",
-				id, s.DeliverPkts, s.SentPkts, generatedAllowance)
+		if s.DeliverPkts > s.SentPkts+s.RetransmitPkts+generatedAllowance {
+			return fmt.Errorf("coflow %d: delivered %d > sent %d + retransmitted %d + generated %d",
+				id, s.DeliverPkts, s.SentPkts, s.RetransmitPkts, generatedAllowance)
+		}
+	}
+	return t.CheckInvariants()
+}
+
+// CheckInvariants verifies the allowance-free accounting invariants of
+// every tracked coflow — the checks a harness can assert without knowing
+// how many packets the switch generates:
+//
+//   - every suppressed duplicate stems from a retransmitted copy
+//     (DuplicatePkts ≤ RetransmitPkts);
+//   - a completed coflow really reached its delivery expectation;
+//   - a coflow that both sent and delivered has FirstSend ≤ LastDeliver
+//     (deliver-only coflows — purely switch-generated results — are exempt).
+//
+// netsim asserts this (plus its own exact packet ledger) at the end of
+// every run.
+func (t *Tracker) CheckInvariants() error {
+	for id, s := range t.coflows {
+		if s.DuplicatePkts > s.RetransmitPkts {
+			return fmt.Errorf("coflow %d: %d duplicates > %d retransmissions",
+				id, s.DuplicatePkts, s.RetransmitPkts)
+		}
+		if s.Done && s.ExpectedDeliveries > 0 && s.DeliverPkts < s.ExpectedDeliveries {
+			return fmt.Errorf("coflow %d: done with %d of %d deliveries",
+				id, s.DeliverPkts, s.ExpectedDeliveries)
+		}
+		if s.SentPkts > 0 && s.DeliverPkts > 0 && s.LastDeliver < s.FirstSend {
+			return fmt.Errorf("coflow %d: delivered at %v before first send %v",
+				id, s.LastDeliver, s.FirstSend)
 		}
 	}
 	return nil

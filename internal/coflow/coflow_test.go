@@ -199,3 +199,108 @@ func TestCCTNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- fault-accounting tests (lost / retransmitted / duplicate) ---
+
+func TestTrackerLossRetransmitAccounting(t *testing.T) {
+	tr := NewTracker()
+	// A packet is sent, its first attempt is lost, it is retransmitted and
+	// delivered; a spurious second retransmission is suppressed as a
+	// duplicate before the switch.
+	tr.Send(1, 10, 100)
+	tr.Lose(1)
+	tr.Retransmit(1)
+	tr.Deliver(1, 50, 100)
+	tr.Retransmit(1)
+	tr.Duplicate(1)
+	s := tr.Status(1)
+	if s.LostPkts != 1 || s.RetransmitPkts != 2 || s.DuplicatePkts != 1 {
+		t.Fatalf("lost/retx/dup = %d/%d/%d", s.LostPkts, s.RetransmitPkts, s.DuplicatePkts)
+	}
+	if err := tr.CheckConservation(0); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+}
+
+func TestConservationAllowsRetransmittedDeliveries(t *testing.T) {
+	tr := NewTracker()
+	// The switch replicates: 1 send, 2 retransmissions, 3 deliveries. With
+	// no generated allowance this is only conserved because retransmitted
+	// copies count toward the delivery bound.
+	tr.Send(2, 0, 64)
+	tr.Retransmit(2)
+	tr.Retransmit(2)
+	tr.Deliver(2, 5, 64)
+	tr.Deliver(2, 6, 64)
+	tr.Deliver(2, 7, 64)
+	if err := tr.CheckConservation(0); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+	// One more delivery exceeds every explicable source.
+	tr.Deliver(2, 8, 64)
+	if err := tr.CheckConservation(0); err == nil {
+		t.Fatal("over-delivery conserved")
+	}
+}
+
+func TestInvariantDuplicatesNeedRetransmissions(t *testing.T) {
+	tr := NewTracker()
+	tr.Send(3, 0, 64)
+	tr.Duplicate(3)
+	if err := tr.CheckInvariants(); err == nil {
+		t.Fatal("duplicate without retransmission passed invariants")
+	}
+	tr.Retransmit(3)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestInvariantDoneRequiresDeliveries(t *testing.T) {
+	tr := NewTracker()
+	tr.Expect(4, 2)
+	tr.Send(4, 0, 64)
+	tr.Deliver(4, 1, 64)
+	tr.Deliver(4, 2, 64)
+	if !tr.Done(4) {
+		t.Fatal("coflow not done")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// Corrupt the status to simulate a bookkeeping bug: done with fewer
+	// deliveries than expected must be caught.
+	tr.Status(4).DeliverPkts = 1
+	if err := tr.CheckInvariants(); err == nil {
+		t.Fatal("done-without-deliveries passed invariants")
+	}
+}
+
+func TestInvariantDeliverOnlyCoflowExempt(t *testing.T) {
+	tr := NewTracker()
+	// Switch-generated results: deliveries with no sends. FirstSend stays
+	// at the sentinel, which must not trip the time-ordering invariant.
+	tr.Deliver(5, 100, 64)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestConservationUnderDropsWithRetx(t *testing.T) {
+	tr := NewTracker()
+	// Exhausted retry budget: sent, lost repeatedly, finally dropped.
+	tr.Send(6, 0, 64)
+	for i := 0; i < 3; i++ {
+		tr.Lose(6)
+		tr.Retransmit(6)
+	}
+	tr.Lose(6)
+	tr.Drop(6)
+	s := tr.Status(6)
+	if s.DroppedPkts != 1 || s.LostPkts != 4 || s.RetransmitPkts != 3 {
+		t.Fatalf("drop/lost/retx = %d/%d/%d", s.DroppedPkts, s.LostPkts, s.RetransmitPkts)
+	}
+	if err := tr.CheckConservation(0); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+}

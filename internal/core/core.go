@@ -44,6 +44,17 @@ type Config struct {
 	// TM1BufferBytes and TM2BufferBytes size the two shared buffers.
 	TM1BufferBytes int
 	TM2BufferBytes int
+	// MaxActiveCoflows, when positive, bounds the switch's coflow state
+	// directory. Admitting a packet of a new coflow beyond the bound
+	// evicts the least-recently-seen coflow with accounting (the graceful
+	// answer to state pressure) instead of erroring; a packet of an
+	// evicted coflow readmits it, again with accounting. Zero = unbounded.
+	MaxActiveCoflows int
+	// TolerateReordering, when set, turns TM1 merge-mode rank regressions
+	// (a retransmitted or reordered packet arriving after higher ranks
+	// already drained) into counted late drops instead of hard errors —
+	// degraded operation on a faulty network rather than a wedged switch.
+	TolerateReordering bool
 	// Pipe configures every pipeline instance (ingress, central, egress).
 	Pipe pipeline.Config
 }
@@ -78,6 +89,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: %d ports do not divide across %d egress pipelines", c.Ports, c.EgressPipelines)
 	case c.TM1BufferBytes <= 0 || c.TM2BufferBytes <= 0:
 		return fmt.Errorf("core: TM buffers %d/%d", c.TM1BufferBytes, c.TM2BufferBytes)
+	case c.MaxActiveCoflows < 0:
+		return fmt.Errorf("core: max active coflows %d", c.MaxActiveCoflows)
 	}
 	return c.Pipe.Validate()
 }
@@ -125,6 +138,20 @@ type Switch struct {
 	consumed       uint64
 	badRoutes      uint64
 	txPerPort      []uint64
+
+	// Coflow state directory (graceful degradation under pressure): the
+	// switch tracks which coflows currently hold state, with a strict
+	// recency order (coflowSeq is a deterministic logical clock). With
+	// MaxActiveCoflows set, pressure evicts the least-recently-seen
+	// coflow with accounting instead of erroring; evicted coflows that
+	// return are readmitted (their state rebuilt) and counted.
+	coflowLast map[uint32]uint64
+	coflowSeq  uint64
+	evicted    map[uint32]struct{}
+
+	coflowEvictions    uint64
+	coflowReadmissions uint64
+	lateDrops          uint64
 }
 
 // New builds an ADCP switch. Any program may be nil (pure forwarding).
@@ -133,12 +160,14 @@ func New(cfg Config, progs Programs) (*Switch, error) {
 		return nil, err
 	}
 	s := &Switch{
-		cfg:       cfg,
-		progs:     progs,
-		tm1:       tm.NewSharedMemoryTM(cfg.CentralPipelines, cfg.TM1BufferBytes),
-		tm2:       tm.NewSharedMemoryTM(cfg.EgressPipelines, cfg.TM2BufferBytes),
-		demuxNext: make([]int, cfg.Ports),
-		txPerPort: make([]uint64, cfg.Ports),
+		cfg:        cfg,
+		progs:      progs,
+		tm1:        tm.NewSharedMemoryTM(cfg.CentralPipelines, cfg.TM1BufferBytes),
+		tm2:        tm.NewSharedMemoryTM(cfg.EgressPipelines, cfg.TM2BufferBytes),
+		demuxNext:  make([]int, cfg.Ports),
+		txPerPort:  make([]uint64, cfg.Ports),
+		coflowLast: make(map[uint32]uint64),
+		evicted:    make(map[uint32]struct{}),
 	}
 	parser := packet.StandardGraph()
 	layout := pipeline.LayoutOf(progs.Ingress, progs.Central, cfg.Pipe.PHVBudget)
@@ -238,7 +267,37 @@ func (s *Switch) Accept(pkt *packet.Packet) error {
 	if ctx.Verdict == pipeline.VerdictRecirculate {
 		return fmt.Errorf("core: ADCP programs must not recirculate (array support removes the need)")
 	}
+	s.noteCoflow(ctx.Decoded.Base.CoflowID)
 	return s.intoTM1(ctx)
+}
+
+// noteCoflow records activity of a coflow in the state directory. Under
+// MaxActiveCoflows pressure, a new coflow evicts the least-recently-seen
+// one (ties cannot occur: coflowSeq is strictly increasing, so eviction is
+// deterministic). The directory models the control plane's admission view;
+// the data-plane register arrays are owned by the programs themselves, so
+// eviction accounting quantifies how often state would be torn down and
+// rebuilt rather than wiping program memory.
+func (s *Switch) noteCoflow(cf uint32) {
+	if _, ok := s.evicted[cf]; ok {
+		delete(s.evicted, cf)
+		s.coflowReadmissions++
+	}
+	if _, ok := s.coflowLast[cf]; !ok && s.cfg.MaxActiveCoflows > 0 {
+		for len(s.coflowLast) >= s.cfg.MaxActiveCoflows {
+			victim, oldest := uint32(0), ^uint64(0)
+			for id, seq := range s.coflowLast {
+				if seq < oldest {
+					victim, oldest = id, seq
+				}
+			}
+			delete(s.coflowLast, victim)
+			s.evicted[victim] = struct{}{}
+			s.coflowEvictions++
+		}
+	}
+	s.coflowSeq++
+	s.coflowLast[cf] = s.coflowSeq
 }
 
 // Flush drains TM1 through the central pipelines and TM2 through the
@@ -261,7 +320,14 @@ func (s *Switch) intoTM1(ctx *pipeline.Context) error {
 		}
 		if s.rank != nil {
 			flow, rank := s.rank(ctx)
-			return s.tm1Merge[target].Push(flow, pkt, rank)
+			if err := s.tm1Merge[target].Push(flow, pkt, rank); err != nil {
+				if s.cfg.TolerateReordering {
+					s.lateDrops++
+					return nil
+				}
+				return err
+			}
+			return nil
 		}
 		s.tm1.Enqueue(target, pkt)
 		return nil
@@ -442,6 +508,19 @@ func (s *Switch) Consumed() uint64 { return s.consumed }
 
 // BadRoutes counts routing targets outside the switch geometry.
 func (s *Switch) BadRoutes() uint64 { return s.badRoutes }
+
+// ActiveCoflows returns the number of coflows currently holding state.
+func (s *Switch) ActiveCoflows() int { return len(s.coflowLast) }
+
+// CoflowEvictions counts coflows evicted under MaxActiveCoflows pressure.
+func (s *Switch) CoflowEvictions() uint64 { return s.coflowEvictions }
+
+// CoflowReadmissions counts evicted coflows readmitted on later packets.
+func (s *Switch) CoflowReadmissions() uint64 { return s.coflowReadmissions }
+
+// LateDrops counts merge-mode rank regressions dropped with accounting
+// (TolerateReordering) instead of erroring.
+func (s *Switch) LateDrops() uint64 { return s.lateDrops }
 
 // TxOnPort returns packets delivered on a specific port.
 func (s *Switch) TxOnPort(port int) uint64 { return s.txPerPort[port] }

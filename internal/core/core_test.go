@@ -624,3 +624,111 @@ func TestPHVArrayContainerEndToEnd(t *testing.T) {
 		t.Errorf("intra-pipeline array = %v", centralSaw)
 	}
 }
+
+// --- graceful degradation under coflow state pressure ---
+
+func coflowPkt(cf uint32, src, dst int) *packet.Packet {
+	p := packet.BuildRaw(packet.Header{
+		DstPort: uint16(dst), SrcPort: uint16(src), CoflowID: cf,
+	}, 40)
+	p.IngressPort = src
+	return p
+}
+
+func TestCoflowDirectoryEvictsLRU(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxActiveCoflows = 2
+	s, err := New(cfg, Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coflows 1, 2 fill the directory; 3 must evict the least recently
+	// seen (1).
+	for _, cf := range []uint32{1, 2, 3} {
+		if _, err := s.Process(coflowPkt(cf, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ActiveCoflows() != 2 {
+		t.Fatalf("active = %d, want 2", s.ActiveCoflows())
+	}
+	if s.CoflowEvictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.CoflowEvictions())
+	}
+	// Touch 2 (now MRU), then admit 4: the victim must be 3, so a 2
+	// arrival afterwards is NOT a readmission.
+	if _, err := s.Process(coflowPkt(2, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(coflowPkt(4, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(coflowPkt(2, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.CoflowReadmissions() != 0 {
+		t.Fatalf("readmissions = %d, want 0 (LRU touch ignored)", s.CoflowReadmissions())
+	}
+	// A packet of evicted coflow 1 returning is a readmission, with its own
+	// eviction to make room.
+	if _, err := s.Process(coflowPkt(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.CoflowReadmissions() != 1 {
+		t.Fatalf("readmissions = %d, want 1", s.CoflowReadmissions())
+	}
+	if s.ActiveCoflows() != 2 {
+		t.Fatalf("active = %d after readmission", s.ActiveCoflows())
+	}
+}
+
+func TestCoflowDirectoryUnboundedByDefault(t *testing.T) {
+	s, err := New(smallConfig(), Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cf := uint32(1); cf <= 50; cf++ {
+		if _, err := s.Process(coflowPkt(cf, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ActiveCoflows() != 50 || s.CoflowEvictions() != 0 {
+		t.Fatalf("active/evictions = %d/%d", s.ActiveCoflows(), s.CoflowEvictions())
+	}
+}
+
+func TestNegativeMaxActiveCoflowsRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxActiveCoflows = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative MaxActiveCoflows validated")
+	}
+}
+
+func TestTolerateReorderingCountsLateDrops(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TolerateReordering = true
+	s, err := New(cfg, Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPartition(func(ctx *pipeline.Context) int { return 0 })
+	s.SetRankOrder(func(ctx *pipeline.Context) (uint64, uint64) {
+		return uint64(ctx.Decoded.Base.FlowID), uint64(ctx.Decoded.Base.Seq)
+	})
+	p1 := packet.BuildRaw(packet.Header{FlowID: 1, Seq: 10}, 0)
+	p1.IngressPort = 0
+	if err := s.Accept(p1); err != nil {
+		t.Fatal(err)
+	}
+	// The regression that TestMergeModeRejectsUnsortedFlow shows erroring
+	// by default becomes a counted late drop.
+	p2 := packet.BuildRaw(packet.Header{FlowID: 1, Seq: 5}, 0)
+	p2.IngressPort = 0
+	if err := s.Accept(p2); err != nil {
+		t.Fatalf("tolerant mode errored: %v", err)
+	}
+	if s.LateDrops() != 1 {
+		t.Fatalf("late drops = %d, want 1", s.LateDrops())
+	}
+}

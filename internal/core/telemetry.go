@@ -46,6 +46,10 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 		reg.ObserveFunc("switch.bad_routes", func() float64 { return float64(s.badRoutes) }, ls...)
 		reg.ObserveFunc("switch.ingress_traversals", func() float64 { return float64(s.IngressTraversals()) }, ls...)
 		reg.ObserveFunc("switch.central_traversals", func() float64 { return float64(s.CentralTraversals()) }, ls...)
+		reg.ObserveFunc("switch.active_coflows", func() float64 { return float64(len(s.coflowLast)) }, ls...)
+		reg.ObserveFunc("switch.coflow_evictions", func() float64 { return float64(s.coflowEvictions) }, ls...)
+		reg.ObserveFunc("switch.coflow_readmissions", func() float64 { return float64(s.coflowReadmissions) }, ls...)
+		reg.ObserveFunc("switch.late_drops", func() float64 { return float64(s.lateDrops) }, ls...)
 		occ1 = telemetry.InstrumentTM(reg, s.tm1, ls, "1")
 		occ2 = telemetry.InstrumentTM(reg, s.tm2, ls, "2")
 		wait1 = reg.Histogram("switch.tm.wait_ps", withLabel("tm", "1")...)

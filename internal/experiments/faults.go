@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FaultsRow is one (loss rate, architecture) point of the fault sweep.
+type FaultsRow struct {
+	LossRate float64
+	Arch     string // "rmt" | "adcp"
+	CCT      sim.Time
+	// Inflation is CCT / the same architecture's loss-free CCT.
+	Inflation float64
+	// Retransmits counts recovery retransmissions (both legs); Overhead is
+	// retransmits per originally-injected packet.
+	Retransmits uint64
+	Overhead    float64
+	// LostAttempts counts wire attempts the injector destroyed.
+	LostAttempts uint64
+}
+
+// faultsSeed keeps the sweep deterministic: each (rate index, arch) point
+// gets its own fixed injector seed, so adding a rate never reshuffles the
+// fault sequences of the others.
+func faultsSeed(rateIdx int, arch string) uint64 {
+	s := uint64(0xFA_0175) + uint64(rateIdx)*1024
+	if arch == "adcp" {
+		s += 512
+	}
+	return s
+}
+
+// Faults sweeps link loss rate × {RMT, ADCP} over the parameter-server
+// aggregation round (verified outputs) with end-host recovery enabled, and
+// reports CCT inflation and retransmit overhead. nil lossRates selects the
+// default sweep {0, 0.5%, 1%, 2%, 5%}.
+func Faults(lossRates []float64) (*stats.Table, []FaultsRow, error) {
+	if len(lossRates) == 0 {
+		lossRates = []float64{0, 0.005, 0.01, 0.02, 0.05}
+	}
+	cc := DefaultConvergenceConfig()
+	ps := apps.PSConfig{Workers: 8, ModelSize: 32, Width: 4}
+	rec := faults.DefaultRecovery()
+
+	run := func(arch string, rateIdx int, rate float64) (*apps.RunResult, error) {
+		var sw netsim.SwitchModel
+		var err error
+		if arch == "rmt" {
+			sw, err = apps.NewParamServerRMT(rmtConfig(cc), ps)
+		} else {
+			sw, err = apps.NewParamServerADCP(adcpConfig(cc), ps)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ncfg := netsim.DefaultConfig(cc.Ports)
+		ncfg.Faults = &faults.Plan{
+			Seed: faultsSeed(rateIdx, arch),
+			Link: faults.LinkFaults{LossRate: rate},
+		}
+		ncfg.Recovery = &rec
+		res, err := apps.RunParamServer(sw, ncfg, ps, 25, 99)
+		if err != nil {
+			return res, err
+		}
+		if len(res.Errors) > 0 {
+			return res, fmt.Errorf("run errors: %v", res.Errors)
+		}
+		return res, nil
+	}
+
+	t := stats.NewTable(
+		"Fault sweep: parameter-server CCT under link loss with end-host recovery (RMT vs ADCP)",
+		"loss rate", "arch", "CCT", "inflation", "retransmits", "retx overhead", "lost attempts",
+	)
+	var rows []FaultsRow
+	baseline := map[string]sim.Time{}
+	for i, rate := range lossRates {
+		for _, arch := range []string{"rmt", "adcp"} {
+			res, err := run(arch, i, rate)
+			if err != nil {
+				return nil, nil, fmt.Errorf("faults %s @ %g: %w", arch, rate, err)
+			}
+			led := res.Network.Ledger()
+			row := FaultsRow{
+				LossRate:     rate,
+				Arch:         arch,
+				CCT:          res.CCT,
+				Retransmits:  led.UplinkRetx + led.DownlinkRetx,
+				LostAttempts: led.TxLost + led.TxCorrupt + led.RxLost + led.RxCorrupt,
+			}
+			if res.Injected > 0 {
+				row.Overhead = float64(row.Retransmits) / float64(res.Injected)
+			}
+			if base, ok := baseline[arch]; ok && base > 0 {
+				row.Inflation = float64(row.CCT) / float64(base)
+			} else {
+				baseline[arch] = row.CCT
+				row.Inflation = 1
+			}
+			rows = append(rows, row)
+			ll, la := lbl("loss", lf(rate)), lbl("arch", arch)
+			record("faults.cct_ps", float64(row.CCT), ll, la)
+			record("faults.cct_inflation", row.Inflation, ll, la)
+			record("faults.retransmits", float64(row.Retransmits), ll, la)
+			record("faults.retx_overhead", row.Overhead, ll, la)
+			record("faults.lost_attempts", float64(row.LostAttempts), ll, la)
+			t.AddRow(fmt.Sprintf("%.1f%%", rate*100), arch, row.CCT.String(),
+				fmt.Sprintf("%.2fx", row.Inflation), fmt.Sprintf("%d", row.Retransmits),
+				fmt.Sprintf("%.3f", row.Overhead), fmt.Sprintf("%d", row.LostAttempts))
+		}
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+func TestFaultsSweepShape(t *testing.T) {
+	tbl, rows, err := Faults([]float64{0, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 rates × 2 architectures
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CCT <= 0 {
+			t.Errorf("%s @ %g: CCT %v", r.Arch, r.LossRate, r.CCT)
+		}
+		if r.LossRate == 0 {
+			if r.Inflation != 1 || r.Retransmits != 0 || r.LostAttempts != 0 {
+				t.Errorf("loss-free baseline shows fault activity: %+v", r)
+			}
+		}
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "1.0%") || !strings.Contains(out, "adcp") {
+		t.Errorf("table missing sweep rows:\n%s", out)
+	}
+}
+
+// TestTable1SurvivesLoss is the acceptance run: every Table 1 application —
+// which all verify their outputs internally — completes under a 1% loss
+// plan with end-host recovery, and conservation holds (Table1WithNet runs
+// surface any ledger or tracker violation as an error).
+func TestTable1SurvivesLoss(t *testing.T) {
+	rec := faults.DefaultRecovery()
+	_, rows, err := Table1WithNet(func(cfg netsim.Config) netsim.Config {
+		cfg.Faults = &faults.Plan{
+			Seed: 0x7AB1E1, // "TABLE1"
+			Link: faults.LinkFaults{LossRate: 0.01},
+		}
+		cfg.Recovery = &rec
+		return cfg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RMTCCT <= 0 || r.ADCPCCT <= 0 {
+			t.Errorf("%s under loss: CCTs %v/%v", r.App, r.RMTCCT, r.ADCPCCT)
+		}
+	}
+}

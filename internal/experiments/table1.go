@@ -27,29 +27,37 @@ type Table1Row struct {
 }
 
 // Table1 runs all four application patterns end-to-end on both
-// architectures with identical inputs and verified outputs.
+// architectures with identical inputs and verified outputs, on a perfect
+// network.
 func Table1() (*stats.Table, []Table1Row, error) {
+	return Table1WithNet(func(c netsim.Config) netsim.Config { return c })
+}
+
+// Table1WithNet runs Table 1 with every application's network configuration
+// passed through mod — the hook fault experiments use to overlay a loss
+// plan and recovery knobs onto the exact same workloads and verification.
+func Table1WithNet(mod func(netsim.Config) netsim.Config) (*stats.Table, []Table1Row, error) {
 	var rows []Table1Row
 
-	ml, err := table1ML()
+	ml, err := table1ML(mod)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ML: %w", err)
 	}
 	rows = append(rows, ml)
 
-	db, err := table1DB()
+	db, err := table1DB(mod)
 	if err != nil {
 		return nil, nil, fmt.Errorf("DB: %w", err)
 	}
 	rows = append(rows, db)
 
-	gr, err := table1Graph()
+	gr, err := table1Graph(mod)
 	if err != nil {
 		return nil, nil, fmt.Errorf("graph: %w", err)
 	}
 	rows = append(rows, gr)
 
-	gc, err := table1Group()
+	gc, err := table1Group(mod)
 	if err != nil {
 		return nil, nil, fmt.Errorf("group: %w", err)
 	}
@@ -71,14 +79,14 @@ func Table1() (*stats.Table, []Table1Row, error) {
 	return t, rows, nil
 }
 
-func table1ML() (Table1Row, error) {
+func table1ML(mod func(netsim.Config) netsim.Config) (Table1Row, error) {
 	cc := DefaultConvergenceConfig()
 	ps := apps.PSConfig{Workers: 12, ModelSize: 64, Width: 4}
 	rsw, err := apps.NewParamServerRMT(rmtConfig(cc), ps)
 	if err != nil {
 		return Table1Row{}, err
 	}
-	rres, err := apps.RunParamServer(rsw, netsim.DefaultConfig(cc.Ports), ps, 21, 77)
+	rres, err := apps.RunParamServer(rsw, mod(netsim.DefaultConfig(cc.Ports)), ps, 21, 77)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -86,7 +94,7 @@ func table1ML() (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	ares, err := apps.RunParamServer(asw, netsim.DefaultConfig(cc.Ports), ps, 21, 77)
+	ares, err := apps.RunParamServer(asw, mod(netsim.DefaultConfig(cc.Ports)), ps, 21, 77)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -99,7 +107,7 @@ func table1ML() (Table1Row, error) {
 	}, nil
 }
 
-func table1DB() (Table1Row, error) {
+func table1DB(mod func(netsim.Config) netsim.Config) (Table1Row, error) {
 	cc := DefaultConvergenceConfig()
 	db := apps.DBConfig{KeySpace: 64, DestHosts: []int{12, 13, 14}, TuplesPerPacket: 4}
 	params := workload.DBParams{
@@ -118,7 +126,7 @@ func table1DB() (Table1Row, error) {
 		return Table1Row{}, err
 	}
 	aInjs := repartitionDB(injs, asw.Config().CentralPipelines, db.TuplesPerPacket)
-	an, err := netsim.New(netsim.DefaultConfig(cc.Ports), asw)
+	an, err := netsim.New(mod(netsim.DefaultConfig(cc.Ports)), asw)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -139,7 +147,7 @@ func table1DB() (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	rn, err := netsim.New(netsim.DefaultConfig(cc.Ports), rsw)
+	rn, err := netsim.New(mod(netsim.DefaultConfig(cc.Ports)), rsw)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -171,7 +179,7 @@ func table1DB() (Table1Row, error) {
 	}, nil
 }
 
-func table1Graph() (Table1Row, error) {
+func table1Graph(mod func(netsim.Config) netsim.Config) (Table1Row, error) {
 	cc := DefaultConvergenceConfig()
 	gc := apps.GraphConfig{Hosts: cc.Ports, EdgesPerPacket: 8}
 	edges := []packet.Edge{}
@@ -192,7 +200,7 @@ func table1Graph() (Table1Row, error) {
 			return Table1Row{}, err
 		}
 	}
-	an, err := netsim.New(netsim.DefaultConfig(cc.Ports), asw)
+	an, err := netsim.New(mod(netsim.DefaultConfig(cc.Ports)), asw)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -211,7 +219,7 @@ func table1Graph() (Table1Row, error) {
 			return Table1Row{}, err
 		}
 	}
-	rn, err := netsim.New(netsim.DefaultConfig(cc.Ports), rsw)
+	rn, err := netsim.New(mod(netsim.DefaultConfig(cc.Ports)), rsw)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -230,7 +238,7 @@ func table1Graph() (Table1Row, error) {
 	}, nil
 }
 
-func table1Group() (Table1Row, error) {
+func table1Group(mod func(netsim.Config) netsim.Config) (Table1Row, error) {
 	cc := DefaultConvergenceConfig()
 	members := map[uint32][]int{5: {1, 6, 10, 14}}
 	run := apps.GroupRun{CoflowID: 24, GroupID: 5, Source: 0, Chunks: 20, ChunkLen: 512, Members: 4}
@@ -240,7 +248,7 @@ func table1Group() (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	ares, err := apps.RunGroupComm(asw, hetero, run)
+	ares, err := apps.RunGroupComm(asw, mod(hetero), run)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -248,7 +256,7 @@ func table1Group() (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	rres, err := apps.RunGroupComm(rsw, hetero, run)
+	rres, err := apps.RunGroupComm(rsw, mod(hetero), run)
 	if err != nil {
 		return Table1Row{}, err
 	}

@@ -1,0 +1,327 @@
+// Package faults provides a seeded, declarative fault plan for the network
+// simulator: per-link Bernoulli packet loss and corruption, link down/up
+// windows, switch stall windows, and host crash/restart windows, plus the
+// end-host recovery knobs (retransmission timeout, backoff, retry budget)
+// that let coflows complete on a lossy network instead of silently
+// stalling.
+//
+// Determinism contract: an Injector draws every random decision from one
+// sim.RNG seeded by Plan.Seed, and the surrounding simulator consults it in
+// event order — which internal/sim makes fully deterministic. A given
+// (seed, plan) pair therefore reproduces the exact same fault sequence,
+// byte-identically, across runs and machines. See docs/FAULTS.md.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Window is a half-open interval [From, To) of simulated time during which
+// a fault condition holds.
+type Window struct {
+	From, To sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool { return t >= w.From && t < w.To }
+
+// endOf returns the To of the first window containing t, and whether any
+// does.
+func endOf(ws []Window, t sim.Time) (sim.Time, bool) {
+	for _, w := range ws {
+		if w.Contains(t) {
+			return w.To, true
+		}
+	}
+	return 0, false
+}
+
+func validWindows(what string, ws []Window) error {
+	for i, w := range ws {
+		if w.From < 0 || w.To < w.From {
+			return fmt.Errorf("faults: %s window %d: [%v, %v)", what, i, w.From, w.To)
+		}
+	}
+	return nil
+}
+
+// LinkFaults describes the failure behavior of one host link (both
+// directions: host→switch and switch→host share the cable).
+type LinkFaults struct {
+	// LossRate is the Bernoulli probability that one transmission attempt
+	// vanishes on the wire.
+	LossRate float64
+	// CorruptRate is the Bernoulli probability that an attempt arrives
+	// corrupted; the receiver detects it (CRC) and discards, so it behaves
+	// like loss but is accounted separately.
+	CorruptRate float64
+	// Down lists windows during which the link carries nothing at all.
+	Down []Window
+}
+
+func (l LinkFaults) validate(name string) error {
+	if l.LossRate < 0 || l.LossRate > 1 {
+		return fmt.Errorf("faults: %s loss rate %v", name, l.LossRate)
+	}
+	if l.CorruptRate < 0 || l.CorruptRate > 1 {
+		return fmt.Errorf("faults: %s corrupt rate %v", name, l.CorruptRate)
+	}
+	return validWindows(name+" down", l.Down)
+}
+
+// HostFaults describes one host's crash/restart schedule.
+type HostFaults struct {
+	// Crash lists windows during which the host is down: it neither sends
+	// (sends defer to the restart) nor receives (deliveries fail and are
+	// retried by recovery).
+	Crash []Window
+}
+
+// Plan is a declarative description of every fault a run injects. The zero
+// value is a perfect network.
+type Plan struct {
+	// Seed seeds the injector's RNG; all Bernoulli draws come from it.
+	Seed uint64
+	// Link is the default fault behavior of every host link.
+	Link LinkFaults
+	// PerLink overrides Link for specific hosts.
+	PerLink map[int]LinkFaults
+	// Hosts holds per-host crash schedules.
+	Hosts map[int]HostFaults
+	// SwitchStall lists windows during which the switch stops processing;
+	// arrivals are held and resume at the window's end.
+	SwitchStall []Window
+}
+
+// Validate checks rates and windows.
+func (p *Plan) Validate() error {
+	if err := p.Link.validate("link"); err != nil {
+		return err
+	}
+	for h, lf := range p.PerLink {
+		if err := lf.validate(fmt.Sprintf("link %d", h)); err != nil {
+			return err
+		}
+	}
+	for h, hf := range p.Hosts {
+		if err := validWindows(fmt.Sprintf("host %d crash", h), hf.Crash); err != nil {
+			return err
+		}
+	}
+	return validWindows("switch stall", p.SwitchStall)
+}
+
+// linkFor returns the fault behavior of a host's link.
+func (p *Plan) linkFor(host int) LinkFaults {
+	if lf, ok := p.PerLink[host]; ok {
+		return lf
+	}
+	return p.Link
+}
+
+// crashOf returns the crash windows of a host.
+func (p *Plan) crashOf(host int) []Window {
+	if hf, ok := p.Hosts[host]; ok {
+		return hf.Crash
+	}
+	return nil
+}
+
+// Outcome is the fate the injector assigns to one transmission attempt.
+type Outcome uint8
+
+// Attempt outcomes.
+const (
+	OK       Outcome = iota // attempt succeeds
+	Lost                    // Bernoulli loss: vanishes on the wire
+	Corrupt                 // Bernoulli corruption: arrives, fails CRC, discarded
+	LinkDown                // link in a down window: wire never energized
+	HostDown                // endpoint host crashed
+)
+
+// String returns the outcome mnemonic (used as a metric label).
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Lost:
+		return "lost"
+	case Corrupt:
+		return "corrupt"
+	case LinkDown:
+		return "link_down"
+	case HostDown:
+		return "host_down"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Injector evaluates a Plan against individual transmission attempts. All
+// randomness comes from its own RNG (seeded by Plan.Seed), so fault
+// decisions never perturb any other random stream of the run.
+type Injector struct {
+	plan *Plan
+	rng  *sim.RNG
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(p *Plan) *Injector {
+	return &Injector{plan: p, rng: sim.NewRNG(p.Seed)}
+}
+
+// Plan returns the plan the injector evaluates.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Attempt decides the fate of one transmission attempt on a host's link at
+// time at. Availability (host crash, link down) is checked first and draws
+// no randomness; surviving attempts then face the loss and corruption
+// Bernoullis in that fixed order.
+func (in *Injector) Attempt(host int, at sim.Time) Outcome {
+	if _, down := endOf(in.plan.crashOf(host), at); down {
+		return HostDown
+	}
+	lf := in.plan.linkFor(host)
+	if _, down := endOf(lf.Down, at); down {
+		return LinkDown
+	}
+	if in.rng.Bernoulli(lf.LossRate) {
+		return Lost
+	}
+	if in.rng.Bernoulli(lf.CorruptRate) {
+		return Corrupt
+	}
+	return OK
+}
+
+// AckLost decides whether the (tiny) acknowledgement on a host link's
+// reverse path is lost; it shares the link's loss rate. A lost ack makes
+// the sender time out and retransmit a packet the switch already has —
+// the duplicate-suppression path.
+func (in *Injector) AckLost(host int, at sim.Time) bool {
+	if _, down := endOf(in.plan.crashOf(host), at); down {
+		return true
+	}
+	lf := in.plan.linkFor(host)
+	if _, down := endOf(lf.Down, at); down {
+		return true
+	}
+	return in.rng.Bernoulli(lf.LossRate)
+}
+
+// StallEnd reports whether the switch is stalled at time at and, if so,
+// when the stall window ends.
+func (in *Injector) StallEnd(at sim.Time) (sim.Time, bool) {
+	return endOf(in.plan.SwitchStall, at)
+}
+
+// HostUp reports whether the host is up (not crashed) at time at.
+func (in *Injector) HostUp(host int, at sim.Time) bool {
+	_, down := endOf(in.plan.crashOf(host), at)
+	return !down
+}
+
+// ResumeAt returns the earliest time ≥ at when both the host and its link
+// are up — where a deferred send or a restart-aware retry can proceed.
+// Draws no randomness.
+func (in *Injector) ResumeAt(host int, at sim.Time) sim.Time {
+	t := at
+	lf := in.plan.linkFor(host)
+	for {
+		moved := false
+		if end, down := endOf(in.plan.crashOf(host), t); down {
+			t, moved = end, true
+		}
+		if end, down := endOf(lf.Down, t); down {
+			t, moved = end, true
+		}
+		if !moved {
+			return t
+		}
+	}
+}
+
+// Recovery configures end-host reliability: per-flow retransmission with
+// timeout, exponential backoff with cap, and a bounded retry budget. A nil
+// *Recovery in netsim.Config disables retransmission entirely (faults then
+// drop packets terminally, with accounting).
+type Recovery struct {
+	// Timeout is the initial retransmission timeout after a transmission
+	// attempt completes on the wire.
+	Timeout sim.Time
+	// Backoff multiplies the timeout after every retransmission (≥ 1).
+	Backoff float64
+	// MaxTimeout caps the backed-off timeout.
+	MaxTimeout sim.Time
+	// MaxRetries bounds retransmissions per packet (beyond the first
+	// copy); an exhausted budget drops the packet with accounting.
+	MaxRetries int
+}
+
+// DefaultRecovery returns knobs suited to the default netsim timing
+// (~3 µs RTT): 20 µs initial timeout, doubling to a 640 µs cap, 12 retries.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		Timeout:    20 * sim.Microsecond,
+		Backoff:    2,
+		MaxTimeout: 640 * sim.Microsecond,
+		MaxRetries: 12,
+	}
+}
+
+// Validate checks the recovery knobs.
+func (r *Recovery) Validate() error {
+	switch {
+	case r.Timeout <= 0:
+		return fmt.Errorf("faults: recovery timeout %v", r.Timeout)
+	case r.Backoff < 1:
+		return fmt.Errorf("faults: recovery backoff %v", r.Backoff)
+	case r.MaxTimeout < r.Timeout:
+		return fmt.Errorf("faults: recovery max timeout %v < timeout %v", r.MaxTimeout, r.Timeout)
+	case r.MaxRetries < 0:
+		return fmt.Errorf("faults: recovery retries %d", r.MaxRetries)
+	}
+	return nil
+}
+
+// Next returns the backed-off successor of the current timeout.
+func (r *Recovery) Next(cur sim.Time) sim.Time {
+	n := sim.Time(float64(cur) * r.Backoff)
+	if n > r.MaxTimeout {
+		n = r.MaxTimeout
+	}
+	if n < cur { // overflow or degenerate backoff
+		n = r.MaxTimeout
+	}
+	return n
+}
+
+// RandomPlan draws a randomized chaos plan for soak testing: moderate loss
+// and corruption everywhere, one link-down window, one switch stall, and
+// one host crash, all inside the given horizon. The plan's Seed comes from
+// the same RNG, so one soak seed determines the whole scenario.
+func RandomPlan(rng *sim.RNG, hosts int, horizon sim.Time) *Plan {
+	if hosts < 1 {
+		panic("faults: RandomPlan with no hosts")
+	}
+	win := func() Window {
+		from := sim.Time(rng.Int63() % int64(horizon/2))
+		return Window{From: from, To: from + horizon/8}
+	}
+	p := &Plan{
+		Seed: rng.Uint64(),
+		Link: LinkFaults{
+			LossRate:    rng.Float64() * 0.08,
+			CorruptRate: rng.Float64() * 0.03,
+		},
+		SwitchStall: []Window{win()},
+	}
+	downHost := rng.Intn(hosts)
+	lf := p.Link
+	lf.Down = []Window{win()}
+	p.PerLink = map[int]LinkFaults{downHost: lf}
+	p.Hosts = map[int]HostFaults{rng.Intn(hosts): {Crash: []Window{win()}}}
+	return p
+}

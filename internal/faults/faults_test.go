@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPlanKnobsFireDeterministically drives every fault knob with a fixed
+// seed and asserts the exact outcome sequence, pinning both that each knob
+// fires and that the draw sequence is stable across runs (and Go releases —
+// sim.RNG is our own xorshift).
+func TestPlanKnobsFireDeterministically(t *testing.T) {
+	us := sim.Microsecond
+	cases := []struct {
+		name     string
+		plan     Plan
+		host     int
+		times    []sim.Time
+		want     []Outcome
+		wantSame bool // re-evaluate with a fresh injector and require identical outcomes
+	}{
+		{
+			name:     "loss knob",
+			plan:     Plan{Seed: 7, Link: LinkFaults{LossRate: 0.5}},
+			host:     0,
+			times:    []sim.Time{0, us, 2 * us, 3 * us, 4 * us, 5 * us, 6 * us, 7 * us},
+			wantSame: true,
+		},
+		{
+			name:     "corrupt knob",
+			plan:     Plan{Seed: 11, Link: LinkFaults{CorruptRate: 0.5}},
+			host:     0,
+			times:    []sim.Time{0, us, 2 * us, 3 * us, 4 * us, 5 * us, 6 * us, 7 * us},
+			wantSame: true,
+		},
+		{
+			name: "link down window",
+			plan: Plan{Seed: 3, PerLink: map[int]LinkFaults{
+				1: {Down: []Window{{From: us, To: 3 * us}}},
+			}},
+			host:  1,
+			times: []sim.Time{0, us, 2 * us, 3 * us},
+			want:  []Outcome{OK, LinkDown, LinkDown, OK},
+		},
+		{
+			name: "host crash window",
+			plan: Plan{Seed: 3, Hosts: map[int]HostFaults{
+				2: {Crash: []Window{{From: 0, To: 2 * us}}},
+			}},
+			host:  2,
+			times: []sim.Time{0, us, 2 * us},
+			want:  []Outcome{HostDown, HostDown, OK},
+		},
+		{
+			name: "crash shadows link down",
+			plan: Plan{
+				Seed:  3,
+				Link:  LinkFaults{Down: []Window{{From: 0, To: us}}},
+				Hosts: map[int]HostFaults{0: {Crash: []Window{{From: 0, To: us}}}},
+			},
+			host:  0,
+			times: []sim.Time{0, us},
+			want:  []Outcome{HostDown, OK},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			eval := func() []Outcome {
+				in := NewInjector(&tc.plan)
+				var got []Outcome
+				for _, at := range tc.times {
+					got = append(got, in.Attempt(tc.host, at))
+				}
+				return got
+			}
+			got := eval()
+			if tc.want != nil {
+				for i := range tc.want {
+					if got[i] != tc.want[i] {
+						t.Fatalf("outcomes %v, want %v", got, tc.want)
+					}
+				}
+			}
+			// Probabilistic knobs must actually fire at these rates/seeds…
+			if tc.wantSame {
+				fired := false
+				for _, o := range got {
+					if o != OK {
+						fired = true
+					}
+				}
+				if !fired {
+					t.Fatalf("knob never fired: %v", got)
+				}
+			}
+			// …and every knob must replay identically from a fresh injector.
+			again := eval()
+			for i := range got {
+				if got[i] != again[i] {
+					t.Fatalf("replay diverged: %v vs %v", got, again)
+				}
+			}
+		})
+	}
+}
+
+// TestStallAndResume covers the non-attempt queries: stall windows and
+// restart-aware resume times.
+func TestStallAndResume(t *testing.T) {
+	us := sim.Microsecond
+	p := &Plan{
+		SwitchStall: []Window{{From: 2 * us, To: 4 * us}},
+		Hosts:       map[int]HostFaults{0: {Crash: []Window{{From: 0, To: 3 * us}}}},
+		PerLink:     map[int]LinkFaults{0: {Down: []Window{{From: 3 * us, To: 5 * us}}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	if _, stalled := in.StallEnd(us); stalled {
+		t.Error("stalled before the window")
+	}
+	if end, stalled := in.StallEnd(2 * us); !stalled || end != 4*us {
+		t.Errorf("StallEnd(2us) = %v, %v", end, stalled)
+	}
+	// Host 0 is crashed until 3us, then its link is down until 5us: resume
+	// must chain across both windows.
+	if up := in.ResumeAt(0, 0); up != 5*us {
+		t.Errorf("ResumeAt = %v, want 5us", up)
+	}
+	if up := in.ResumeAt(0, 6*us); up != 6*us {
+		t.Errorf("ResumeAt past windows = %v, want 6us", up)
+	}
+	if in.HostUp(0, us) {
+		t.Error("host up during crash window")
+	}
+	if !in.HostUp(0, 5*us) {
+		t.Error("host down after crash window")
+	}
+}
+
+// TestRecoveryBackoff pins the timeout schedule: doubling to the cap.
+func TestRecoveryBackoff(t *testing.T) {
+	r := DefaultRecovery()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cur := r.Timeout
+	var seen []sim.Time
+	for i := 0; i < 8; i++ {
+		cur = r.Next(cur)
+		seen = append(seen, cur)
+	}
+	us := sim.Microsecond
+	want := []sim.Time{40 * us, 80 * us, 160 * us, 320 * us, 640 * us, 640 * us, 640 * us, 640 * us}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("backoff schedule %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestValidateRejectsBadPlans covers the validation errors.
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{Link: LinkFaults{LossRate: 1.5}},
+		{Link: LinkFaults{CorruptRate: -0.1}},
+		{Link: LinkFaults{Down: []Window{{From: 5, To: 2}}}},
+		{Hosts: map[int]HostFaults{0: {Crash: []Window{{From: -1, To: 2}}}}},
+		{SwitchStall: []Window{{From: 3, To: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated", i)
+		}
+	}
+	r := Recovery{Timeout: 0, Backoff: 2, MaxTimeout: 10, MaxRetries: 1}
+	if err := r.Validate(); err == nil {
+		t.Error("zero timeout validated")
+	}
+	r = Recovery{Timeout: 10, Backoff: 0.5, MaxTimeout: 10, MaxRetries: 1}
+	if err := r.Validate(); err == nil {
+		t.Error("shrinking backoff validated")
+	}
+}
+
+// TestRandomPlanDeterministic: one soak seed determines the whole scenario.
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(sim.NewRNG(42), 8, 100*sim.Microsecond)
+	b := RandomPlan(sim.NewRNG(42), 8, 100*sim.Microsecond)
+	if a.Seed != b.Seed || a.Link.LossRate != b.Link.LossRate || a.Link.CorruptRate != b.Link.CorruptRate {
+		t.Fatalf("plans diverge: %+v vs %+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/coflow"
+	"repro/internal/faults"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -49,6 +50,17 @@ type Config struct {
 	// Requires the switch to implement TraversalCounter; ignored
 	// otherwise.
 	ServiceRatePPS float64
+	// Faults, when non-nil, injects the plan's link loss/corruption, link
+	// down windows, switch stalls, and host crashes into the run. The
+	// injector draws from its own RNG (seeded by the plan), so adding
+	// faults never perturbs application-level random streams.
+	Faults *faults.Plan
+	// Recovery, when non-nil, enables end-host reliability: timed-out
+	// transmissions retransmit with exponential backoff under a bounded
+	// retry budget, and duplicate copies are suppressed before the switch
+	// program. With Recovery nil, faulted packets drop terminally (with
+	// accounting).
+	Recovery *faults.Recovery
 }
 
 // TraversalCounter is implemented by switch models that can report their
@@ -87,6 +99,16 @@ func (c Config) Validate() error {
 	case c.PropDelay < 0 || c.SwitchLatency < 0:
 		return fmt.Errorf("netsim: negative delay")
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Recovery != nil {
+		if err := c.Recovery.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -119,6 +141,13 @@ type Network struct {
 	delivered uint64
 	errs      []error
 
+	// inj evaluates the fault plan (nil on a perfect network); rec holds
+	// the recovery knobs (nil when faults drop terminally). led is the
+	// exact packet ledger CheckConservation audits.
+	inj *faults.Injector
+	rec *faults.Recovery
+	led Ledger
+
 	// Tracing state; tr stays nil unless telemetry.Default carries a tracer
 	// at construction time, so the untraced hot path pays one nil check.
 	tr                  *telemetry.Tracer
@@ -149,6 +178,10 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 	for i := 0; i < cfg.Hosts; i++ {
 		n.hosts = append(n.hosts, &Host{ID: i})
 	}
+	if cfg.Faults != nil {
+		n.inj = faults.NewInjector(cfg.Faults)
+	}
+	n.rec = cfg.Recovery
 	if tel := telemetry.Default; tel.Enabled() {
 		n.instrument(tel)
 	}
@@ -174,6 +207,7 @@ func (n *Network) instrument(tel *telemetry.Telemetry) {
 			n.e2eLat[i] = reg.Histogram("net.e2e_latency_ps",
 				telemetry.L("net", inst), telemetry.L("port", fmt.Sprintf("%d", i)))
 		}
+		n.instrumentFaults(reg, inst)
 	}
 	// The sampler hook runs after the gauge hook above, so each sample
 	// reads an up-to-date queue depth.
@@ -216,6 +250,16 @@ func (n *Network) serialization(host int, p *packet.Packet) sim.Time {
 	return sim.Time(bits / n.linkGbps(host) * 1000) // Gbps → ps per bit: 1000/Gbps
 }
 
+// coflowOf decodes a packet's coflow id (0 when undecodable), matching the
+// tracker's keying of send/deliver events.
+func coflowOf(p *packet.Packet) uint32 {
+	var d packet.Decoded
+	if err := d.DecodePacket(p); err != nil {
+		return 0
+	}
+	return d.Base.CoflowID
+}
+
 // SendAt schedules host src to transmit pkt at time at (or when its uplink
 // frees, whichever is later). The packet's IngressPort is stamped with the
 // host's port.
@@ -224,43 +268,73 @@ func (n *Network) SendAt(src int, pkt *packet.Packet, at sim.Time) {
 		panic(fmt.Sprintf("netsim: host %d out of range", src))
 	}
 	pkt.IngressPort = src
-	n.eng.Schedule(at, func() {
-		start := n.eng.Now()
-		if n.txBusyUntil[src] > start {
-			start = n.txBusyUntil[src]
+	n.eng.Schedule(at, func() { n.startSend(src, pkt) })
+}
+
+// startSend is a packet's entry into the network: a crashed (or cut-off)
+// host defers the send to its restart, an up host records the send with the
+// tracker and makes the first transmission attempt.
+func (n *Network) startSend(src int, pkt *packet.Packet) {
+	now := n.eng.Now()
+	if n.inj != nil {
+		if up := n.inj.ResumeAt(src, now); up > now {
+			n.led.SendDeferrals++
+			n.eng.Schedule(up, func() { n.startSend(src, pkt) })
+			return
 		}
-		done := start + n.serialization(src, pkt)
-		n.txBusyUntil[src] = done
-		arrive := done + n.cfg.PropDelay
-		if n.tr != nil {
-			n.tr.Complete(start, done-start, "tx", "net", n.pid, n.txTID,
-				map[string]any{"host": src, "bytes": pkt.WireLen()})
-		}
-		var d packet.Decoded
-		cfID := uint32(0)
-		if err := d.DecodePacket(pkt); err == nil {
-			cfID = d.Base.CoflowID
-		}
-		n.tracker.Send(cfID, n.eng.Now(), pkt.WireLen())
-		n.injected++
-		n.eng.Schedule(arrive, func() { n.arriveAtSwitch(pkt, start) })
-	})
+	}
+	cf := coflowOf(pkt)
+	n.tracker.Send(cf, now, pkt.WireLen())
+	n.injected++
+	var ts *txState
+	if n.rec != nil {
+		ts = &txState{src: src, cf: cf, pristine: pkt.Clone(), rto: n.rec.Timeout}
+	}
+	n.transmit(src, pkt, ts, false)
 }
 
 // arriveAtSwitch runs the switch synchronously and schedules deliveries.
 // With a service rate configured, arrivals wait for the switch to free up
 // and each traversal (including recirculated passes) occupies it. sentAt
 // is the packet's transmission start, threaded through to delivery so the
-// end-to-end latency histogram sees the full path.
-func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time) {
+// end-to-end latency histogram sees the full path. ts is the sender's
+// retransmission state (nil without recovery): the first copy to arrive is
+// acknowledged, later copies are suppressed here, before the switch
+// program, so stateful switch programs never see duplicates.
+func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
+	if n.inj != nil {
+		if end, stalled := n.inj.StallEnd(n.eng.Now()); stalled {
+			// Switch stall window: the arrival is held (input buffering)
+			// and replayed when the switch resumes.
+			n.led.StallDeferrals++
+			n.eng.Schedule(end, func() { n.arriveAtSwitch(pkt, sentAt, ts) })
+			return
+		}
+	}
 	var counter TraversalCounter
 	if n.cfg.ServiceRatePPS > 0 {
 		counter, _ = n.sw.(TraversalCounter)
 	}
 	if counter != nil && n.swBusyUntil > n.eng.Now() {
 		at := n.swBusyUntil
-		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt, sentAt) })
+		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt, sentAt, ts) })
 		return
+	}
+	n.led.SwitchArrivals++
+	if ts != nil {
+		if ts.arrived {
+			// A retransmitted copy of a packet the switch already
+			// processed (its ack was lost or late): suppress it and
+			// re-ack so the sender stops.
+			n.led.DupSuppressed++
+			n.tracker.Duplicate(ts.cf)
+			n.sendAck(ts)
+			return
+		}
+		ts.arrived = true
+		n.sendAck(ts)
+		// End-to-end latency spans from the first transmission attempt.
+		sentAt = ts.firstSent
 	}
 	var before uint64
 	if counter != nil {
@@ -268,13 +342,18 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time) {
 	}
 	outs, err := n.sw.Process(pkt)
 	if err != nil {
+		// The switch rejected the packet: it is terminally gone, so it
+		// must leave the books as a drop, not vanish.
 		n.errs = append(n.errs, err)
+		n.led.SwitchErrors++
+		n.tracker.Drop(coflowOf(pkt))
 		if n.tr != nil {
 			n.tr.Instant(n.eng.Now(), "switch.error", "net", n.pid, n.swTID,
 				map[string]any{"error": err.Error()})
 		}
 		return
 	}
+	n.led.SwitchProcessed++
 	if n.tr != nil && n.detail {
 		n.tr.Instant(n.eng.Now(), "switch.process", "net", n.pid, n.swTID,
 			map[string]any{"ingress_port": pkt.IngressPort, "outs": len(outs)})
@@ -287,33 +366,30 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time) {
 		perTraversal := sim.Time(1e12 / n.cfg.ServiceRatePPS)
 		n.swBusyUntil = n.eng.Now() + sim.Time(delta)*perTraversal
 	}
+	n.led.SwitchOutputs += uint64(len(outs))
 	for _, out := range outs {
 		out := out
 		// Each recirculated pass adds a full pipeline transit.
 		base := n.eng.Now() + n.cfg.SwitchLatency*sim.Time(1+out.Recirculations)
 		dst := out.EgressPort
 		if dst < 0 || dst >= n.cfg.Hosts {
-			// Delivered on a port with no host attached; drop silently
-			// but account it as an error for tests.
+			// Delivered on a port with no host attached: account it as a
+			// drop (and an error for tests) instead of vanishing.
 			n.errs = append(n.errs, fmt.Errorf("netsim: delivery on hostless port %d", dst))
+			n.led.HostlessDrops++
+			n.tracker.Drop(coflowOf(out))
 			continue
 		}
-		start := base
-		if n.rxBusyUntil[dst] > start {
-			start = n.rxBusyUntil[dst]
+		cf := coflowOf(out)
+		var rs *rxState
+		if n.rec != nil {
+			rs = &rxState{dst: dst, cf: cf, pkt: out, sentAt: sentAt, rto: n.rec.Timeout}
 		}
-		done := start + n.serialization(dst, out)
-		n.rxBusyUntil[dst] = done
-		arrive := done + n.cfg.PropDelay
-		if n.tr != nil && n.detail {
-			n.tr.Complete(start, done-start, "rx", "net", n.pid, n.rxTID,
-				map[string]any{"host": dst, "bytes": out.WireLen()})
-		}
-		n.eng.Schedule(arrive, func() { n.deliver(dst, out, sentAt) })
+		n.attemptDeliver(dst, out, cf, base, sentAt, rs, false)
 	}
 }
 
-func (n *Network) deliver(dst int, p *packet.Packet, sentAt sim.Time) {
+func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time) {
 	h := n.hosts[dst]
 	h.Received = append(h.Received, p)
 	h.RxBytes += uint64(p.WireLen())
@@ -321,23 +397,30 @@ func (n *Network) deliver(dst int, p *packet.Packet, sentAt sim.Time) {
 	if n.e2eLat != nil {
 		n.e2eLat[dst].Observe(float64(n.eng.Now() - sentAt))
 	}
-	var d packet.Decoded
-	cfID := uint32(0)
-	if err := d.DecodePacket(p); err == nil {
-		cfID = d.Base.CoflowID
-	}
-	n.tracker.Deliver(cfID, n.eng.Now(), p.WireLen())
+	n.tracker.Deliver(cf, n.eng.Now(), p.WireLen())
 	if n.tr != nil {
 		n.tr.Instant(n.eng.Now(), "deliver", "net", n.pid, n.rxTID,
-			map[string]any{"host": dst, "coflow": cfID})
+			map[string]any{"host": dst, "coflow": cf})
 	}
 	if n.OnDeliver != nil {
 		n.OnDeliver(dst, p, n.eng.Now())
 	}
 }
 
-// Run drains the event queue.
-func (n *Network) Run() { n.eng.Run() }
+// Run drains the event queue, then — if the queue actually emptied (no
+// Stop mid-run) — asserts packet conservation and the tracker invariants,
+// appending any violation to the error list every harness already checks.
+func (n *Network) Run() {
+	n.eng.Run()
+	if n.eng.Pending() == 0 {
+		if err := n.CheckConservation(); err != nil {
+			n.errs = append(n.errs, err)
+		}
+		if err := n.tracker.CheckInvariants(); err != nil {
+			n.errs = append(n.errs, err)
+		}
+	}
+}
 
 // RunUntil drains events up to the deadline.
 func (n *Network) RunUntil(t sim.Time) { n.eng.RunUntil(t) }

@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestChaosSoak throws randomly-generated fault plans (loss, corruption,
+// link-down windows, host crashes, switch stalls) at the network with
+// recovery enabled and asserts the two properties the fault plane
+// guarantees: the conservation ledger balances (auto-asserted by Run) and
+// the coflow completes despite everything the plan did to it.
+//
+// Short mode runs a handful of seeds; set SOAK_SEEDS to widen the sweep
+// (`make soak` runs 200).
+func TestChaosSoak(t *testing.T) {
+	seeds := 8
+	if !testing.Short() {
+		seeds = 32
+	}
+	if s := os.Getenv("SOAK_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad SOAK_SEEDS %q", s)
+		}
+		seeds = v
+	}
+
+	const (
+		hosts   = 8
+		pkts    = 64
+		horizon = 200 * sim.Microsecond
+	)
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(strconv.Itoa(seed), func(t *testing.T) {
+			plan := faults.RandomPlan(sim.NewRNG(uint64(seed)+0x50A5), hosts, horizon)
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("generated plan invalid: %v", err)
+			}
+			// A generous budget: chaos plans can stack a crash window on a
+			// lossy link, and the soak asserts eventual completion, not speed.
+			rec := faults.DefaultRecovery()
+			rec.MaxRetries = 64
+			n, err := New(faultyConfig(hosts, plan, &rec), echoSwitch{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Tracker().Expect(1, pkts)
+			for i := 0; i < pkts; i++ {
+				src := i % hosts
+				n.SendAt(src, rawPkt(src, (i+1)%hosts, 1), sim.Time(i)*sim.Microsecond)
+			}
+			n.Run()
+			if errs := n.Errors(); len(errs) != 0 {
+				t.Fatalf("plan %+v\nerrors: %v\nledger: %+v", plan, errs, n.Ledger())
+			}
+			if !n.Tracker().Done(1) {
+				t.Fatalf("coflow incomplete\nplan %+v\nstatus %+v\nledger %+v",
+					plan, n.Tracker().Status(1), n.Ledger())
+			}
+			if err := n.CheckConservation(); err != nil {
+				t.Fatalf("conservation: %v", err)
+			}
+		})
+	}
+}

@@ -47,6 +47,19 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Bernoulli reports a success with probability p. Degenerate probabilities
+// (p ≤ 0, p ≥ 1) are decided without consuming a draw, so disabling a fault
+// knob never perturbs the draw sequence of the remaining knobs.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
