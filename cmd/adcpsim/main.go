@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
@@ -55,6 +58,7 @@ func defaultExperiments() []experiment {
 		{"cachehit", "cache hit rate vs size under Zipf GETs", runCacheHit},
 		{"saturation", "recirculation tax as completion time under load", runSaturation},
 		{"faults", "fault/recovery loss sweep: CCT inflation RMT vs ADCP", runFaults},
+		{"failover", "switch crash + warm-standby failover: recovery time, CCT, replication overhead", runFailover},
 	}
 }
 
@@ -80,6 +84,8 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	samplesJSON := fs.String("samples-json", "", "write sampled time series as JSON to this file")
 	sampleIntervalUS := fs.Int("sample-interval-us", 10, "sampling period in simulated microseconds")
 	sampleCap := fs.Int("sample-cap", telemetry.DefaultSampleCapacity, "ring-buffer capacity per sampled series")
+	expTimeout := fs.Duration("exp-timeout", 0, "wall-clock watchdog deadline per experiment (0 = none)")
+	expBudget := fs.Uint64("exp-event-budget", 0, "sim-event budget per experiment (0 = unbounded)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -188,7 +194,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "running %s...\n", e.name)
 			}
 			srv.markRunning(e.name)
-			err := e.run(stdout)
+			err := runWatched(e, stdout, *expTimeout, *expBudget)
 			srv.markDone(e.name, err != nil)
 			if tel != nil {
 				srv.publish(tel.Reg())
@@ -232,6 +238,27 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runWatched runs one experiment under the watchdog. With no timeout and no
+// event budget it degenerates to a plain call (experiments.Run with a
+// background context never trips), so the default CLI behavior is unchanged.
+func runWatched(e experiment, stdout io.Writer, timeout time.Duration, budget uint64) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	err := experiments.Run(ctx, e.name, budget, func() error { return e.run(stdout) })
+	var we *experiments.WatchdogError
+	if errors.As(err, &we) {
+		// A tripped watchdog abandoned the experiment goroutine mid-write;
+		// flag the output as truncated so a partial table is not mistaken
+		// for a complete one.
+		fmt.Fprintf(stdout, "\n[experiment %s killed by watchdog: output above may be truncated]\n", e.name)
+	}
+	return err
 }
 
 // writeMemProfile snapshots the heap (after a GC, so the profile reflects
@@ -470,6 +497,15 @@ func runSaturation(w io.Writer) error {
 
 func runFaults(w io.Writer) error {
 	t, _, err := experiments.Faults(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, t)
+	return nil
+}
+
+func runFailover(w io.Writer) error {
+	t, _, err := experiments.Failover(nil, nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/packet"
+	"repro/internal/pipeline"
+)
+
+// countingPrograms returns a central program that accumulates KV pair
+// values into stage-0 registers — enough state to make an export
+// non-trivial (registers, RMW op counts, traversal counters).
+func countingPrograms() Programs {
+	return Programs{
+		Central: &pipeline.Program{Funcs: []pipeline.StageFunc{
+			func(st *pipeline.Stage, ctx *pipeline.Context) error {
+				if ctx.Decoded.Base.Proto != packet.ProtoKV {
+					return nil
+				}
+				// One RMW per traversal (the stage budget): fold the
+				// first key into its register cell.
+				k := ctx.Decoded.KV.Pairs[0].Key
+				if _, err := st.RegisterRMW(mat.RegAdd, int(k)%8, uint64(k)+1); err != nil {
+					return err
+				}
+				ctx.Egress = 1
+				return nil
+			},
+		}},
+	}
+}
+
+// driveState pushes a mix of raw forwarding and stateful KV traffic
+// through the switch, touching demux round-robin, tx counters, the coflow
+// directory, registers, and (with MaxActiveCoflows) the eviction set.
+func driveState(t *testing.T, s *Switch) {
+	t.Helper()
+	for i := 0; i < 6; i++ {
+		if _, err := s.Process(rawPkt(i%4, (i+3)%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Process(kvPkt(i%3, uint32(i+1), uint32(i+7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxActiveCoflows = 1 // raw (coflow 1) and KV (coflow 2) traffic force evictions
+	s, err := New(cfg, countingPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveState(t, s)
+	st, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 || st.CoflowSeq == 0 {
+		t.Fatalf("export captured no activity: %+v", st)
+	}
+	if st.CoflowEvictions == 0 || len(st.Evicted) == 0 {
+		t.Fatalf("eviction state not captured: %+v", st)
+	}
+	var cells int
+	for _, p := range st.Central {
+		for _, stage := range p.Stages {
+			cells += len(stage)
+		}
+	}
+	if cells == 0 {
+		t.Fatal("no register cells captured from the counting program")
+	}
+
+	// Restoring the export into an identically built switch must make its
+	// own export structurally identical.
+	s2, err := New(cfg, countingPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("restore-then-export diverged:\n%+v\n%+v", st, st2)
+	}
+
+	// And the restored switch must behave identically: the same next
+	// packet leaves both switches in the same state.
+	for _, sw := range []*Switch{s, s2} {
+		if _, err := sw.Process(kvPkt(1, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("original and restored switch diverged on the next packet")
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	s, err := New(smallConfig(), Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(rawPkt(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(DefaultConfig(), Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreState(st); err == nil {
+		t.Fatal("restore into a different geometry accepted")
+	}
+	// Merge-mode mismatch is a geometry difference too.
+	merged, err := New(smallConfig(), Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged.SetRankOrder(func(ctx *pipeline.Context) (flow, rank uint64) { return 0, 0 })
+	if err := merged.RestoreState(st); err == nil {
+		t.Fatal("restore across a merge-mode mismatch accepted")
+	}
+	if fp1, fp2 := s.GeometryFingerprint(), merged.GeometryFingerprint(); fp1 == fp2 {
+		t.Fatal("merge mode does not change the geometry fingerprint")
+	}
+}
+
+func TestExportRequiresQuiescence(t *testing.T) {
+	s, err := New(smallConfig(), Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a packet inside TM1: the switch is mid-packet, not at a
+	// checkpointable boundary.
+	if !s.tm1.Enqueue(0, rawPkt(0, 1)) {
+		t.Fatal("enqueue refused")
+	}
+	if err := s.Quiescent(); err == nil {
+		t.Fatal("non-quiescent switch reported quiescent")
+	}
+	if _, err := s.ExportState(); err == nil || !strings.Contains(err.Error(), "TM1") {
+		t.Fatalf("export of a non-quiescent switch: %v", err)
+	}
+	st := &SwitchState{}
+	if err := s.RestoreState(st); err == nil {
+		t.Fatal("restore into a non-quiescent switch accepted")
+	}
+	if s.tm1.Dequeue(0) == nil {
+		t.Fatal("parked packet vanished")
+	}
+	if _, err := s.ExportState(); err != nil {
+		t.Fatalf("drained switch still not exportable: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/faults"
+	"repro/internal/ha"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FailoverRow is one (arch, crash time, sync interval) point of the
+// switch-failover sweep.
+type FailoverRow struct {
+	Arch string // "rmt" | "adcp"
+	// CrashFrac positions the crash as a fraction of the architecture's
+	// plain (unreplicated, fault-free) CCT; 0 = no crash (pure replication
+	// overhead). CrashAt is the resulting absolute time.
+	CrashFrac float64
+	CrashAt   sim.Time
+	// SyncInterval is the replication batching interval (0 = immediate).
+	SyncInterval sim.Time
+	CCT          sim.Time
+	// Inflation is CCT / the same architecture's plain CCT: the combined
+	// cost of output-commit ack deferral plus (when crashed) the outage.
+	Inflation float64
+	// RecoveryPs is promotion minus crash (0 without a crash);
+	// ReplayDepth counts in-flight deltas drained after the crash.
+	RecoveryPs  sim.Time
+	ReplayDepth uint64
+	// DeltaBytes is the sync-channel volume; ReplOverhead is DeltaBytes
+	// per application byte originally sent.
+	DeltaBytes   uint64
+	ReplOverhead float64
+	Retransmits  uint64
+}
+
+// failoverSeed pins each sweep point's injector seed, so adding a point
+// never reshuffles the others.
+func failoverSeed(pointIdx int, arch string) uint64 {
+	s := uint64(0xFA_1707) + uint64(pointIdx)*1024
+	if arch == "adcp" {
+		s += 512
+	}
+	return s
+}
+
+// Failover sweeps switch-crash time × replication sync interval × {RMT,
+// ADCP} over the parameter-server aggregation round with a warm standby
+// configured. Every run's worker weights are verified against the exact
+// expected sums — a packet double-applied (or lost) across the failover
+// would fail the run — and the conservation ledger is auto-asserted. nil
+// arguments select the default sweep: crash at {none, 40%, 80%} of the
+// plain CCT, sync intervals {immediate, 2 µs}.
+func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []FailoverRow, error) {
+	if len(crashFracs) == 0 {
+		crashFracs = []float64{0, 0.4, 0.8}
+	}
+	if len(syncIntervals) == 0 {
+		syncIntervals = []sim.Time{0, 2 * sim.Microsecond}
+	}
+	cc := DefaultConvergenceConfig()
+	ps := apps.PSConfig{Workers: 8, ModelSize: 32, Width: 4}
+	rec := faults.DefaultRecovery()
+
+	build := func(arch string) (netsim.SwitchModel, error) {
+		if arch == "rmt" {
+			return apps.NewParamServerRMT(rmtConfig(cc), ps)
+		}
+		return apps.NewParamServerADCP(adcpConfig(cc), ps)
+	}
+
+	t := stats.NewTable(
+		"Failover sweep: parameter-server CCT across a switch crash with warm-standby replication",
+		"arch", "crash", "sync", "CCT", "inflation", "recovery", "replay", "delta bytes", "repl overhead", "retx",
+	)
+	var rows []FailoverRow
+	for _, arch := range []string{"rmt", "adcp"} {
+		// The plain run (no standby, no faults) anchors the crash times
+		// and the inflation baseline.
+		plainSW, err := build(arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		plain, err := apps.RunParamServer(plainSW, netsim.DefaultConfig(cc.Ports), ps, 25, 99)
+		if err != nil {
+			return nil, nil, fmt.Errorf("failover %s baseline: %w", arch, err)
+		}
+		if len(plain.Errors) > 0 {
+			return nil, nil, fmt.Errorf("failover %s baseline errors: %v", arch, plain.Errors)
+		}
+		base := plain.CCT
+		record("failover.base_cct_ps", float64(base), lbl("arch", arch))
+
+		point := 0
+		for _, frac := range crashFracs {
+			for _, syncIv := range syncIntervals {
+				primary, err := build(arch)
+				if err != nil {
+					return nil, nil, err
+				}
+				standby, err := build(arch)
+				if err != nil {
+					return nil, nil, err
+				}
+				ncfg := netsim.DefaultConfig(cc.Ports)
+				ncfg.Recovery = &rec
+				ncfg.Standby = standby
+				opt := ha.DefaultOptions()
+				opt.SyncInterval = syncIv
+				ncfg.HA = &opt
+				crashAt := sim.Time(frac * float64(base))
+				if crashAt > 0 {
+					ncfg.Faults = &faults.Plan{
+						Seed:          failoverSeed(point, arch),
+						SwitchCrashAt: crashAt,
+					}
+				}
+				res, err := apps.RunParamServer(primary, ncfg, ps, 25, 99)
+				if err != nil {
+					return nil, nil, fmt.Errorf("failover %s crash %g sync %v: %w", arch, frac, syncIv, err)
+				}
+				if len(res.Errors) > 0 {
+					return nil, nil, fmt.Errorf("failover %s crash %g sync %v errors: %v", arch, frac, syncIv, res.Errors)
+				}
+				st := res.Network.HA().Stats()
+				led := res.Network.Ledger()
+				row := FailoverRow{
+					Arch:         arch,
+					CrashFrac:    frac,
+					CrashAt:      crashAt,
+					SyncInterval: syncIv,
+					CCT:          res.CCT,
+					Inflation:    float64(res.CCT) / float64(base),
+					ReplayDepth:  st.ReplayDepth,
+					DeltaBytes:   st.DeltaBytes,
+					Retransmits:  led.UplinkRetx + led.DownlinkRetx,
+				}
+				if st.Promotions > 0 {
+					row.RecoveryPs = st.PromotedAt - st.CrashAt
+				}
+				if sent := res.Network.Tracker().Status(25).SentBytes; sent > 0 {
+					row.ReplOverhead = float64(row.DeltaBytes) / float64(sent)
+				}
+				rows = append(rows, row)
+				la, lc, lsy := lbl("arch", arch), lbl("crash", lf(frac)), lbl("sync_ps", li(int(syncIv)))
+				record("failover.cct_ps", float64(row.CCT), la, lc, lsy)
+				record("failover.cct_inflation", row.Inflation, la, lc, lsy)
+				record("failover.recovery_ps", float64(row.RecoveryPs), la, lc, lsy)
+				record("failover.replay_depth", float64(row.ReplayDepth), la, lc, lsy)
+				record("failover.delta_bytes", float64(row.DeltaBytes), la, lc, lsy)
+				record("failover.repl_overhead", row.ReplOverhead, la, lc, lsy)
+				record("failover.retransmits", float64(row.Retransmits), la, lc, lsy)
+				record("failover.staleness_max_ps", float64(st.MaxStalenessPs), la, lc, lsy)
+				crash := "none"
+				if crashAt > 0 {
+					crash = fmt.Sprintf("%.0f%%=%v", frac*100, crashAt)
+				}
+				syncLabel := "immediate"
+				if syncIv > 0 {
+					syncLabel = syncIv.String()
+				}
+				recovery := "-"
+				if st.Promotions > 0 {
+					recovery = row.RecoveryPs.String()
+				}
+				t.AddRow(arch, crash, syncLabel, row.CCT.String(),
+					fmt.Sprintf("%.2fx", row.Inflation), recovery,
+					fmt.Sprintf("%d", row.ReplayDepth), fmt.Sprintf("%d", row.DeltaBytes),
+					fmt.Sprintf("%.3f", row.ReplOverhead), fmt.Sprintf("%d", row.Retransmits))
+				point++
+			}
+		}
+	}
+	return t, rows, nil
+}

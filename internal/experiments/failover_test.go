@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFailoverSweepShape(t *testing.T) {
+	tbl, rows, err := Failover([]float64{0, 0.4}, []sim.Time{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 crash fracs × 1 sync × 2 architectures
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CCT <= 0 {
+			t.Errorf("%s crash %g: CCT %v", r.Arch, r.CrashFrac, r.CCT)
+		}
+		if r.CrashFrac == 0 {
+			if r.RecoveryPs != 0 || r.ReplayDepth != 0 {
+				t.Errorf("crash-free row shows failover activity: %+v", r)
+			}
+			if r.DeltaBytes == 0 {
+				t.Errorf("%s: replication ran but shipped no bytes", r.Arch)
+			}
+		} else {
+			if r.RecoveryPs <= 0 {
+				t.Errorf("%s crash %g: no recovery time recorded: %+v", r.Arch, r.CrashFrac, r)
+			}
+		}
+	}
+	out := tbl.String()
+	for _, want := range []string{"rmt", "adcp", "immediate", "none", "40%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFailoverIsDeterministic is the byte-identity acceptance check: the
+// whole sweep — crashed replicated runs included — reproduces exactly,
+// rows and rendered table alike.
+func TestFailoverIsDeterministic(t *testing.T) {
+	run := func() (string, []FailoverRow) {
+		tbl, rows, err := Failover([]float64{0.4}, []sim.Time{2 * sim.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String(), rows
+	}
+	out1, rows1 := run()
+	out2, rows2 := run()
+	if out1 != out2 {
+		t.Fatalf("sweep output differs between runs:\n%s\n---\n%s", out1, out2)
+	}
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Fatalf("sweep rows differ:\n%+v\n%+v", rows1, rows2)
+	}
+}

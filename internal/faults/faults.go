@@ -93,6 +93,12 @@ type Plan struct {
 	// SwitchStall lists windows during which the switch stops processing;
 	// arrivals are held and resume at the window's end.
 	SwitchStall []Window
+	// SwitchCrashAt, when positive, kills the switch at that instant —
+	// unlike a stall, crashed state is gone. With a warm standby configured
+	// (netsim.Config.Standby) the controller promotes it after the failover
+	// delay and end hosts redirect via recovery; without one, every later
+	// arrival drops dead at the port. Zero = no crash.
+	SwitchCrashAt sim.Time
 }
 
 // Validate checks rates and windows.
@@ -109,6 +115,9 @@ func (p *Plan) Validate() error {
 		if err := validWindows(fmt.Sprintf("host %d crash", h), hf.Crash); err != nil {
 			return err
 		}
+	}
+	if p.SwitchCrashAt < 0 {
+		return fmt.Errorf("faults: switch crash at %v", p.SwitchCrashAt)
 	}
 	return validWindows("switch stall", p.SwitchStall)
 }
@@ -323,5 +332,11 @@ func RandomPlan(rng *sim.RNG, hosts int, horizon sim.Time) *Plan {
 	lf.Down = []Window{win()}
 	p.PerLink = map[int]LinkFaults{downHost: lf}
 	p.Hosts = map[int]HostFaults{rng.Intn(hosts): {Crash: []Window{win()}}}
+	// A quarter of plans also crash the switch mid-run. This draw comes
+	// last so plans without a crash keep the exact fault schedule earlier
+	// seeds produced.
+	if rng.Float64() < 0.25 {
+		p.SwitchCrashAt = horizon/4 + sim.Time(rng.Int63()%int64(horizon/2))
+	}
 	return p
 }

@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzRandomPlan asserts the generator's invariants for arbitrary seeds
+// and shapes: every generated plan validates, all windows and the switch
+// crash stay inside the horizon-derived bounds, and generation is a pure
+// function of the seed. Run as a regression test over the seed corpus;
+// extend with `go test -fuzz=FuzzRandomPlan ./internal/faults/`.
+func FuzzRandomPlan(f *testing.F) {
+	f.Add(uint64(0), 1, int64(sim.Microsecond))
+	f.Add(uint64(0x50A5), 8, int64(200*sim.Microsecond))
+	f.Add(uint64(0x50A9), 8, int64(200*sim.Microsecond)) // this seed draws a switch crash
+	f.Add(uint64(1<<63), 16, int64(sim.Second))
+	f.Fuzz(func(t *testing.T, seed uint64, hosts int, horizon int64) {
+		// Clamp to the generator's domain: callers pass positive shapes.
+		hosts = 1 + (hosts&0x7fffffff)%64
+		h := sim.Time(8 + horizon&0x7fffffffffff) // ≥ 8 so horizon/8 windows are non-empty
+		p := RandomPlan(sim.NewRNG(seed), hosts, h)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated plan invalid: %v\nplan %+v", err, p)
+		}
+		checkWin := func(what string, ws []Window) {
+			for _, w := range ws {
+				if w.From < 0 || w.From >= h/2 || w.To != w.From+h/8 {
+					t.Fatalf("%s window %+v outside [0, horizon/2) + horizon/8", what, w)
+				}
+			}
+		}
+		checkWin("stall", p.SwitchStall)
+		for host, lf := range p.PerLink {
+			if host < 0 || host >= hosts {
+				t.Fatalf("per-link override for host %d of %d", host, hosts)
+			}
+			checkWin("link down", lf.Down)
+		}
+		for host, hf := range p.Hosts {
+			if host < 0 || host >= hosts {
+				t.Fatalf("crash schedule for host %d of %d", host, hosts)
+			}
+			checkWin("host crash", hf.Crash)
+		}
+		if p.Link.LossRate < 0 || p.Link.LossRate > 0.08 || p.Link.CorruptRate < 0 || p.Link.CorruptRate > 0.03 {
+			t.Fatalf("rates out of range: %+v", p.Link)
+		}
+		if p.SwitchCrashAt != 0 && (p.SwitchCrashAt < h/4 || p.SwitchCrashAt >= h/4+h/2) {
+			t.Fatalf("switch crash %v outside [horizon/4, 3·horizon/4)", p.SwitchCrashAt)
+		}
+		// Same seed, same plan — the determinism contract soak runs rely on.
+		again := RandomPlan(sim.NewRNG(seed), hosts, h)
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("same seed produced different plans:\n%+v\n%+v", p, again)
+		}
+	})
+}

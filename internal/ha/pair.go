@@ -1,0 +1,298 @@
+package ha
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Replica is any switch model the pair can replicate. Replication is by
+// deterministic re-execution (State-Compute Replication): the standby is
+// built identically to the primary and replays the primary's exact packet
+// sequence, so it converges to identical state — including counters —
+// without ever serializing that state on the wire.
+type Replica interface {
+	Process(pkt *packet.Packet) ([]*packet.Packet, error)
+}
+
+// Options tunes the replication channel and the failover controller.
+type Options struct {
+	// SyncInterval batches deltas: the primary ships the pending log at
+	// each multiple of the interval. Zero ships every delta immediately
+	// (minimum staleness, maximum per-delta overhead).
+	SyncInterval sim.Time
+	// ReplDelay is the sync channel's one-way latency: a shipped delta is
+	// applied at the standby ReplDelay later.
+	ReplDelay sim.Time
+	// FailoverDelay models the controller's failure detection plus
+	// promotion time: the standby starts serving no earlier than crash +
+	// FailoverDelay (and never before in-flight deltas have landed).
+	FailoverDelay sim.Time
+}
+
+// DefaultOptions: immediate shipping over a 500 ns channel, 10 µs failover.
+func DefaultOptions() Options {
+	return Options{
+		ReplDelay:     500 * sim.Nanosecond,
+		FailoverDelay: 10 * sim.Microsecond,
+	}
+}
+
+// deltaHeaderBytes models the per-delta framing on the sync channel:
+// packet UID (8) + capture timestamp (8) + length (4).
+const deltaHeaderBytes = 20
+
+// delta is one logged state mutation: the packet that caused it, captured
+// pristine so the standby can re-execute it.
+type delta struct {
+	uid    uint64
+	pkt    *packet.Packet
+	at     sim.Time
+	outs   []*packet.Packet
+	commit func(outs []*packet.Packet)
+}
+
+type phase uint8
+
+const (
+	phasePrimary  phase = iota // primary serving, standby applying deltas
+	phaseFailover              // primary crashed, standby not yet promoted
+	phaseStandby               // standby promoted and serving
+	phaseDead                  // both replicas lost
+)
+
+// Stats is the pair's replication and failover accounting.
+type Stats struct {
+	// DeltasShipped/DeltaBytes/Batches measure the sync channel;
+	// DeltasApplied counts standby re-executions, of which ReplayDepth
+	// happened after the crash (the in-flight log drained during
+	// failover). DiscardedDeltas died unshipped with the primary — their
+	// packets were never acked, so senders retransmit them to the standby.
+	DeltasShipped, DeltaBytes, Batches uint64
+	DeltasApplied, ReplayDepth         uint64
+	DiscardedDeltas                    uint64
+	// MaxStalenessPs is the largest observed age of a delta at ship time:
+	// the bound on how far the standby's state trails the primary's.
+	MaxStalenessPs int64
+	CrashAt        sim.Time
+	PromotedAt     sim.Time
+	Promotions     uint64
+}
+
+// Pair replicates a primary switch onto a warm standby. The caller routes
+// every intact switch arrival through Submit; the pair executes it on the
+// active replica and enforces output commit: the primary's outputs (and
+// the caller's ack) are withheld until the packet's delta is on the sync
+// channel, so a crash can never ack a packet whose state change was lost.
+// Combined with the caller's duplicate suppression over Seen, every
+// packet's state application is exactly-once across the failover boundary.
+type Pair struct {
+	eng     *sim.Engine
+	primary Replica
+	standby Replica
+	opt     Options
+
+	phase   phase
+	pending []*delta
+	shipEv  *sim.Event
+
+	// seenPrimary/seenStandby are each replica's processed-packet sets;
+	// committed holds packets whose delta has shipped (safe to ack).
+	seenPrimary map[uint64]struct{}
+	seenStandby map[uint64]struct{}
+	committed   map[uint64]struct{}
+
+	// lastArrival is the latest scheduled in-flight delta arrival; the
+	// promotion barrier waits for it so a retransmission can never reach
+	// the standby ahead of the delta that already applied its packet.
+	lastArrival sim.Time
+
+	stats        Stats
+	stalenessObs func(ps float64)
+}
+
+// NewPair builds a replication pair over the engine's clock.
+func NewPair(eng *sim.Engine, primary, standby Replica, opt Options) (*Pair, error) {
+	switch {
+	case primary == nil || standby == nil:
+		return nil, fmt.Errorf("ha: nil replica")
+	case opt.SyncInterval < 0 || opt.ReplDelay < 0 || opt.FailoverDelay < 0:
+		return nil, fmt.Errorf("ha: negative option")
+	}
+	return &Pair{
+		eng:         eng,
+		primary:     primary,
+		standby:     standby,
+		opt:         opt,
+		seenPrimary: make(map[uint64]struct{}),
+		seenStandby: make(map[uint64]struct{}),
+		committed:   make(map[uint64]struct{}),
+	}, nil
+}
+
+// Alive reports whether a replica is currently serving traffic.
+func (p *Pair) Alive() bool { return p.phase == phasePrimary || p.phase == phaseStandby }
+
+// Seen reports whether the active replica has already applied packet uid —
+// the caller's duplicate-suppression predicate. During failover it answers
+// for the standby (the replica a retransmission would reach).
+func (p *Pair) Seen(uid uint64) bool {
+	if p.phase == phasePrimary {
+		_, ok := p.seenPrimary[uid]
+		return ok
+	}
+	_, ok := p.seenStandby[uid]
+	return ok
+}
+
+// Committed reports whether packet uid's delta has shipped: its ack may be
+// (re)sent. A seen-but-uncommitted duplicate must stay unacked — the
+// pending commit will ack it, and an early ack would break output commit.
+func (p *Pair) Committed(uid uint64) bool {
+	_, ok := p.committed[uid]
+	return ok
+}
+
+// Submit executes one intact arrival on the active replica. On the
+// primary, outputs and the commit callback are withheld until the delta
+// ships; on a promoted standby they fire synchronously. A processing error
+// is returned immediately (it is deterministic, so the standby's replay
+// reproduces it and the replicas stay identical); the caller books and
+// acks errored packets as it would without replication.
+func (p *Pair) Submit(uid uint64, pkt *packet.Packet, commit func(outs []*packet.Packet)) error {
+	switch p.phase {
+	case phasePrimary:
+		d := &delta{uid: uid, pkt: pkt.Clone(), at: p.eng.Now()}
+		outs, err := p.primary.Process(pkt)
+		p.seenPrimary[uid] = struct{}{}
+		if err != nil {
+			p.committed[uid] = struct{}{}
+			p.log(d)
+			return err
+		}
+		d.outs = outs
+		d.commit = commit
+		p.log(d)
+		return nil
+	case phaseStandby:
+		p.seenStandby[uid] = struct{}{}
+		p.committed[uid] = struct{}{}
+		outs, err := p.standby.Process(pkt)
+		if err != nil {
+			return err
+		}
+		commit(outs)
+		return nil
+	default:
+		panic("ha: submit while no replica is serving (check Alive first)")
+	}
+}
+
+// log appends a delta to the pending batch and arms the ship timer: now
+// for immediate mode, the next sync boundary otherwise.
+func (p *Pair) log(d *delta) {
+	p.pending = append(p.pending, d)
+	if p.shipEv != nil {
+		return
+	}
+	at := p.eng.Now()
+	if p.opt.SyncInterval > 0 {
+		at = (at/p.opt.SyncInterval + 1) * p.opt.SyncInterval
+	}
+	p.shipEv = p.eng.Schedule(at, p.ship)
+}
+
+// ship puts the pending batch on the sync channel. Shipping is the commit
+// point: each delta's packet becomes ackable and its withheld outputs are
+// released. The channel itself is reliable — once shipped, a delta reaches
+// the standby even if the primary dies meanwhile — so the only loss window
+// is the pending log, which dies with the primary unacked.
+func (p *Pair) ship() {
+	p.shipEv = nil
+	batch := p.pending
+	p.pending = nil
+	now := p.eng.Now()
+	p.stats.Batches++
+	for _, d := range batch {
+		p.stats.DeltasShipped++
+		p.stats.DeltaBytes += uint64(d.pkt.WireLen()) + deltaHeaderBytes
+		stale := int64(now - d.at)
+		if stale > p.stats.MaxStalenessPs {
+			p.stats.MaxStalenessPs = stale
+		}
+		if p.stalenessObs != nil {
+			p.stalenessObs(float64(stale))
+		}
+		p.committed[d.uid] = struct{}{}
+		if d.commit != nil {
+			d.commit(d.outs)
+		}
+	}
+	arrive := now + p.opt.ReplDelay
+	if arrive > p.lastArrival {
+		p.lastArrival = arrive
+	}
+	p.eng.Schedule(arrive, func() { p.applyBatch(batch) })
+}
+
+// applyBatch re-executes a shipped batch on the standby, in the primary's
+// processing order. Outputs are discarded (the primary already delivered
+// them) and errors are expected to reproduce the primary's.
+func (p *Pair) applyBatch(batch []*delta) {
+	for _, d := range batch {
+		p.stats.DeltasApplied++
+		if p.phase == phaseFailover {
+			p.stats.ReplayDepth++
+		}
+		p.seenStandby[d.uid] = struct{}{}
+		p.standby.Process(d.pkt)
+	}
+}
+
+// Crash kills the serving replica. A primary crash discards the unshipped
+// pending log (those packets were never acked — their senders will
+// retransmit to the standby) and schedules promotion once the controller's
+// failover delay has passed and every in-flight delta has landed. A crash
+// of the promoted standby leaves no replica.
+func (p *Pair) Crash() {
+	now := p.eng.Now()
+	switch p.phase {
+	case phasePrimary:
+		p.phase = phaseFailover
+		p.stats.CrashAt = now
+		p.stats.DiscardedDeltas += uint64(len(p.pending))
+		p.pending = nil
+		if p.shipEv != nil {
+			p.eng.Cancel(p.shipEv)
+			p.shipEv = nil
+		}
+		at := now + p.opt.FailoverDelay
+		if p.lastArrival > at {
+			at = p.lastArrival
+		}
+		p.eng.Schedule(at, p.promote)
+	case phaseStandby:
+		p.phase = phaseDead
+	}
+}
+
+func (p *Pair) promote() {
+	p.phase = phaseStandby
+	p.stats.PromotedAt = p.eng.Now()
+	p.stats.Promotions++
+}
+
+// Stats returns a copy of the replication/failover accounting.
+func (p *Pair) Stats() Stats { return p.stats }
+
+// SetStalenessObserver installs a per-delta staleness observer (ship time
+// minus capture time, in picoseconds); nil removes it.
+func (p *Pair) SetStalenessObserver(fn func(ps float64)) { p.stalenessObs = fn }
+
+// Standby exposes the standby replica (tests compare its state, and a
+// post-run harness may checkpoint it).
+func (p *Pair) Standby() Replica { return p.standby }
+
+// Primary exposes the primary replica.
+func (p *Pair) Primary() Replica { return p.primary }

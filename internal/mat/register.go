@@ -103,6 +103,17 @@ func (f *RegisterFile) Snapshot() []uint64 {
 	return out
 }
 
+// Restore overwrites the file's cells and RMW count from a checkpoint.
+// The cell count must match the file's geometry.
+func (f *RegisterFile) Restore(cells []uint64, ops uint64) error {
+	if len(cells) != len(f.cells) {
+		return fmt.Errorf("mat: restore %d cells into a %d-cell file", len(cells), len(f.cells))
+	}
+	copy(f.cells, cells)
+	f.ops = ops
+	return nil
+}
+
 // Reset zeroes all cells (keeps op count).
 func (f *RegisterFile) Reset() {
 	for i := range f.cells {

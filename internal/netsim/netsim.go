@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/faults"
+	"repro/internal/ha"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -61,6 +62,16 @@ type Config struct {
 	// program. With Recovery nil, faulted packets drop terminally (with
 	// accounting).
 	Recovery *faults.Recovery
+	// Standby, when non-nil, is a warm standby replica of the switch: the
+	// primary ships per-packet state deltas to it over a sync channel, and
+	// on a Faults.SwitchCrashAt crash the controller promotes it while end
+	// hosts redirect via retransmission (which is why Standby requires
+	// Recovery). The standby must be built identically to the primary —
+	// replication is by deterministic re-execution. See docs/HA.md.
+	Standby SwitchModel
+	// HA tunes the replication channel and the failover controller; nil
+	// uses ha.DefaultOptions(). Only meaningful with Standby set.
+	HA *ha.Options
 }
 
 // TraversalCounter is implemented by switch models that can report their
@@ -109,6 +120,14 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	switch {
+	case c.Standby != nil && c.Recovery == nil:
+		return fmt.Errorf("netsim: standby requires recovery (failover redirects via retransmission)")
+	case c.Standby != nil && c.ServiceRatePPS > 0:
+		return fmt.Errorf("netsim: standby with a service-rate model is not supported")
+	case c.HA != nil && c.Standby == nil:
+		return fmt.Errorf("netsim: HA options without a standby")
+	}
 	return nil
 }
 
@@ -148,6 +167,14 @@ type Network struct {
 	rec *faults.Recovery
 	led Ledger
 
+	// pair replicates the switch onto the configured standby (nil without
+	// one); swCrashed marks a standby-less switch killed by the fault
+	// plan. txSeq hands each original uplink packet a unique id — the key
+	// duplicate suppression survives failover on.
+	pair      *ha.Pair
+	swCrashed bool
+	txSeq     uint64
+
 	// Tracing state; tr stays nil unless telemetry.Default carries a tracer
 	// at construction time, so the untraced hot path pays one nil check.
 	tr                  *telemetry.Tracer
@@ -182,6 +209,26 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 		n.inj = faults.NewInjector(cfg.Faults)
 	}
 	n.rec = cfg.Recovery
+	if cfg.Standby != nil {
+		opt := ha.DefaultOptions()
+		if cfg.HA != nil {
+			opt = *cfg.HA
+		}
+		pair, err := ha.NewPair(n.eng, sw, cfg.Standby, opt)
+		if err != nil {
+			return nil, err
+		}
+		n.pair = pair
+	}
+	if cfg.Faults != nil && cfg.Faults.SwitchCrashAt > 0 {
+		n.eng.Schedule(cfg.Faults.SwitchCrashAt, func() {
+			if n.pair != nil {
+				n.pair.Crash()
+			} else {
+				n.swCrashed = true
+			}
+		})
+	}
 	if tel := telemetry.Default; tel.Enabled() {
 		n.instrument(tel)
 	}
@@ -224,6 +271,14 @@ func (n *Network) instrument(tel *telemetry.Telemetry) {
 	}
 	if sw, ok := n.sw.(Instrumentable); ok {
 		sw.Instrument(tel, n.eng.Now)
+	}
+	if n.pair != nil {
+		if reg != nil {
+			n.instrumentHA(reg, inst)
+		}
+		if sb, ok := n.cfg.Standby.(Instrumentable); ok {
+			sb.Instrument(tel, n.eng.Now)
+		}
 	}
 }
 
@@ -288,7 +343,8 @@ func (n *Network) startSend(src int, pkt *packet.Packet) {
 	n.injected++
 	var ts *txState
 	if n.rec != nil {
-		ts = &txState{src: src, cf: cf, pristine: pkt.Clone(), rto: n.rec.Timeout}
+		ts = &txState{src: src, cf: cf, uid: n.txSeq, pristine: pkt.Clone(), rto: n.rec.Timeout}
+		n.txSeq++
 	}
 	n.transmit(src, pkt, ts, false)
 }
@@ -310,6 +366,15 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 			n.eng.Schedule(end, func() { n.arriveAtSwitch(pkt, sentAt, ts) })
 			return
 		}
+	}
+	if n.pair != nil {
+		n.haArrival(pkt, sentAt, ts)
+		return
+	}
+	if n.swCrashed {
+		n.led.SwitchArrivals++
+		n.crashDrop(pkt, ts)
+		return
 	}
 	var counter TraversalCounter
 	if n.cfg.ServiceRatePPS > 0 {
@@ -366,6 +431,14 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 		perTraversal := sim.Time(1e12 / n.cfg.ServiceRatePPS)
 		n.swBusyUntil = n.eng.Now() + sim.Time(delta)*perTraversal
 	}
+	n.scheduleOutputs(outs, sentAt)
+}
+
+// scheduleOutputs books the switch's output packets and schedules their
+// downlink deliveries. sentAt is the originating packet's transmission
+// start (for the end-to-end latency histogram). In HA mode this runs as
+// the deferred commit of an arrival, at its delta's ship time.
+func (n *Network) scheduleOutputs(outs []*packet.Packet, sentAt sim.Time) {
 	n.led.SwitchOutputs += uint64(len(outs))
 	for _, out := range outs {
 		out := out
@@ -386,6 +459,81 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 			rs = &rxState{dst: dst, cf: cf, pkt: out, sentAt: sentAt, rto: n.rec.Timeout}
 		}
 		n.attemptDeliver(dst, out, cf, base, sentAt, rs, false)
+	}
+}
+
+// crashDrop books an arrival that found the switch dead: the frame dies at
+// the port. With recovery the sender's timer is still running, so it keeps
+// retransmitting (reaching the standby once promoted, or aborting on
+// budget); without recovery the packet drops terminally.
+func (n *Network) crashDrop(pkt *packet.Packet, ts *txState) {
+	n.led.CrashDrops++
+	cf := coflowOf(pkt)
+	n.tracker.Lose(cf)
+	if ts == nil {
+		n.tracker.Drop(cf)
+	}
+}
+
+// haArrival is arriveAtSwitch's replicated-switch path: duplicates are
+// suppressed against the active replica's seen set (which survives
+// failover, unlike per-attempt sender state), and the packet is submitted
+// through the pair, which withholds the ack and the outputs until the
+// packet's state delta is safely on the sync channel (output commit). A
+// crash before the ship point therefore acks nothing: the sender times
+// out and retransmits to the promoted standby, which applies the packet
+// exactly once.
+func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
+	n.led.SwitchArrivals++
+	if !n.pair.Alive() {
+		n.crashDrop(pkt, ts)
+		return
+	}
+	if ts != nil {
+		if n.pair.Seen(ts.uid) {
+			// The active replica already applied this packet. Re-ack only
+			// if its delta shipped — the ack of an uncommitted packet is
+			// exactly what output commit withholds.
+			n.led.DupSuppressed++
+			n.tracker.Duplicate(ts.cf)
+			if n.pair.Committed(ts.uid) {
+				n.sendAck(ts)
+			}
+			return
+		}
+		sentAt = ts.firstSent
+	}
+	var uid uint64
+	if ts != nil {
+		uid = ts.uid
+	}
+	start := sentAt
+	err := n.pair.Submit(uid, pkt, func(outs []*packet.Packet) {
+		if ts != nil {
+			n.sendAck(ts)
+		}
+		n.scheduleOutputs(outs, start)
+	})
+	if err != nil {
+		// Deterministic processing error: the standby's replay reproduces
+		// it, so the packet is booked (and acked, stopping retransmission)
+		// exactly as on an unreplicated switch.
+		if ts != nil {
+			n.sendAck(ts)
+		}
+		n.errs = append(n.errs, err)
+		n.led.SwitchErrors++
+		n.tracker.Drop(coflowOf(pkt))
+		if n.tr != nil {
+			n.tr.Instant(n.eng.Now(), "switch.error", "net", n.pid, n.swTID,
+				map[string]any{"error": err.Error()})
+		}
+		return
+	}
+	n.led.SwitchProcessed++
+	if n.tr != nil && n.detail {
+		n.tr.Instant(n.eng.Now(), "switch.process", "net", n.pid, n.swTID,
+			map[string]any{"ingress_port": pkt.IngressPort})
 	}
 }
 
@@ -412,6 +560,10 @@ func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time)
 // appending any violation to the error list every harness already checks.
 func (n *Network) Run() {
 	n.eng.Run()
+	if n.eng.BudgetExceeded() {
+		n.errs = append(n.errs, fmt.Errorf("netsim: sim event budget exhausted after %d events at %v",
+			n.eng.Fired(), n.eng.Now()))
+	}
 	if n.eng.Pending() == 0 {
 		if err := n.CheckConservation(); err != nil {
 			n.errs = append(n.errs, err)
@@ -436,3 +588,6 @@ func (n *Network) Errors() []error { return n.errs }
 
 // Now returns the current simulated time.
 func (n *Network) Now() sim.Time { return n.eng.Now() }
+
+// HA exposes the replication pair (nil without a standby configured).
+func (n *Network) HA() *ha.Pair { return n.pair }

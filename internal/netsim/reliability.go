@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/ha"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -46,6 +47,10 @@ type Ledger struct {
 	DupSuppressed   uint64
 	SwitchOutputs   uint64
 	HostlessDrops   uint64
+	// CrashDrops counts arrivals that found the switch dead: after a
+	// fault-plan crash with no serving replica (either no standby, or the
+	// window between crash and standby promotion).
+	CrashDrops uint64
 	// RxAttempts counts downlink wire attempts toward hosts.
 	RxAttempts uint64
 
@@ -72,6 +77,7 @@ type Ledger struct {
 type txState struct {
 	src      int
 	cf       uint32
+	uid      uint64         // network-wide unique packet id (HA dup suppression)
 	pristine *packet.Packet // untouched copy; the switch mutates what it gets
 	rto      sim.Time
 	retx     int
@@ -325,9 +331,15 @@ func (n *Network) Ledger() Ledger { return n.led }
 //
 //	TxAttempts   = Injected + UplinkRetx
 //	TxAttempts   = SwitchArrivals + TxLost + TxCorrupt + TxLinkDown + TxHostDown
-//	SwitchArrivals = SwitchProcessed + SwitchErrors + DupSuppressed
+//	SwitchArrivals = SwitchProcessed + SwitchErrors + DupSuppressed + CrashDrops
 //	SwitchOutputs  = (RxAttempts − DownlinkRetx) + HostlessDrops
 //	RxAttempts   = Delivered + RxLost + RxCorrupt + RxLinkDown + RxHostDown
+//
+// The third identity spans the failover boundary: arrivals processed by the
+// promoted standby land in SwitchProcessed, retransmissions of packets the
+// dead primary already applied land in DupSuppressed, and arrivals during
+// the outage land in CrashDrops — so a double-applied packet shows up as an
+// identity violation.
 func (n *Network) CheckConservation() error {
 	if p := n.eng.Pending(); p != 0 {
 		return fmt.Errorf("netsim: conservation checked with %d events pending", p)
@@ -342,9 +354,9 @@ func (n *Network) CheckConservation() error {
 		return fmt.Errorf("netsim: conservation: %d tx attempts != %d switch arrivals + %d tx faults",
 			got, l.SwitchArrivals, txFaults)
 	}
-	if got, want := l.SwitchArrivals, l.SwitchProcessed+l.SwitchErrors+l.DupSuppressed; got != want {
-		return fmt.Errorf("netsim: conservation: %d switch arrivals != %d processed + %d errors + %d duplicates",
-			got, l.SwitchProcessed, l.SwitchErrors, l.DupSuppressed)
+	if got, want := l.SwitchArrivals, l.SwitchProcessed+l.SwitchErrors+l.DupSuppressed+l.CrashDrops; got != want {
+		return fmt.Errorf("netsim: conservation: %d switch arrivals != %d processed + %d errors + %d duplicates + %d crash drops",
+			got, l.SwitchProcessed, l.SwitchErrors, l.DupSuppressed, l.CrashDrops)
 	}
 	if got, want := l.SwitchOutputs, (l.RxAttempts-l.DownlinkRetx)+l.HostlessDrops; got != want {
 		return fmt.Errorf("netsim: conservation: %d switch outputs != %d first rx attempts + %d hostless drops",
@@ -395,4 +407,31 @@ func (n *Network) instrumentFaults(reg *telemetry.Registry, inst string) {
 	retx("net.retx.aborted", "rx", &n.led.RxAborted)
 	reg.ObserveFunc("net.retx.acks_lost", u64(&n.led.AcksLost), ls...)
 	reg.ObserveFunc("net.retx.dup_suppressed", u64(&n.led.DupSuppressed), ls...)
+}
+
+// instrumentHA registers the replication/failover series of a network with
+// a warm standby. Only called when the pair exists, so unreplicated runs
+// export the same metric set as before.
+func (n *Network) instrumentHA(reg *telemetry.Registry, inst string) {
+	ls := []telemetry.Label{telemetry.L("net", inst)}
+	stat := func(f func(s ha.Stats) float64) func() float64 {
+		return func() float64 { return f(n.pair.Stats()) }
+	}
+	reg.ObserveFunc("ha.deltas_shipped", stat(func(s ha.Stats) float64 { return float64(s.DeltasShipped) }), ls...)
+	reg.ObserveFunc("ha.delta_bytes", stat(func(s ha.Stats) float64 { return float64(s.DeltaBytes) }), ls...)
+	reg.ObserveFunc("ha.batches", stat(func(s ha.Stats) float64 { return float64(s.Batches) }), ls...)
+	reg.ObserveFunc("ha.deltas_applied", stat(func(s ha.Stats) float64 { return float64(s.DeltasApplied) }), ls...)
+	reg.ObserveFunc("ha.replay_depth", stat(func(s ha.Stats) float64 { return float64(s.ReplayDepth) }), ls...)
+	reg.ObserveFunc("ha.discarded_deltas", stat(func(s ha.Stats) float64 { return float64(s.DiscardedDeltas) }), ls...)
+	reg.ObserveFunc("ha.staleness_max_ps", stat(func(s ha.Stats) float64 { return float64(s.MaxStalenessPs) }), ls...)
+	reg.ObserveFunc("ha.promotions", stat(func(s ha.Stats) float64 { return float64(s.Promotions) }), ls...)
+	reg.ObserveFunc("ha.recovery_ps", stat(func(s ha.Stats) float64 {
+		if s.Promotions == 0 {
+			return 0
+		}
+		return float64(s.PromotedAt - s.CrashAt)
+	}), ls...)
+	hist := reg.Histogram("ha.staleness_ps", ls...)
+	n.pair.SetStalenessObserver(hist.Observe)
+	reg.ObserveFunc("net.faults.crash_drops", func() float64 { return float64(n.led.CrashDrops) }, ls...)
 }

@@ -46,7 +46,13 @@ func TestChaosSoak(t *testing.T) {
 			// lossy link, and the soak asserts eventual completion, not speed.
 			rec := faults.DefaultRecovery()
 			rec.MaxRetries = 64
-			n, err := New(faultyConfig(hosts, plan, &rec), echoSwitch{})
+			cfg := faultyConfig(hosts, plan, &rec)
+			if plan.SwitchCrashAt > 0 {
+				// A quarter of random plans kill the switch; those runs get
+				// a warm standby so completion survives the failover.
+				cfg.Standby = echoSwitch{}
+			}
+			n, err := New(cfg, echoSwitch{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -366,6 +366,32 @@ func (p *Pipeline) Release(ctx *Context) {
 	}
 }
 
+// Counters is the pipeline's checkpointable traversal accounting.
+type Counters struct {
+	Packets, Drops, Recircs, ParseErrors, StageCycles uint64
+}
+
+// Counters exports the pipeline's traversal accounting.
+func (p *Pipeline) Counters() Counters {
+	return Counters{
+		Packets:     p.packets,
+		Drops:       p.drops,
+		Recircs:     p.recircs,
+		ParseErrors: p.parseErrors,
+		StageCycles: p.stageCycles,
+	}
+}
+
+// RestoreCounters overwrites the pipeline's traversal accounting from a
+// checkpoint.
+func (p *Pipeline) RestoreCounters(c Counters) {
+	p.packets = c.Packets
+	p.drops = c.Drops
+	p.recircs = c.Recircs
+	p.parseErrors = c.ParseErrors
+	p.stageCycles = c.StageCycles
+}
+
 // Packets returns total traversals processed.
 func (p *Pipeline) Packets() uint64 { return p.packets }
 

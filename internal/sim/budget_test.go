@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+// chain schedules a self-rescheduling event: the degenerate runaway model
+// the budget exists to stop.
+func chain(e *Engine, every Time, fired *int) {
+	var step func()
+	step = func() {
+		*fired++
+		e.After(every, step)
+	}
+	e.Schedule(0, step)
+}
+
+func TestEventBudgetStopsRunawayChain(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(10)
+	var fired int
+	chain(e, Microsecond, &fired)
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("fired %d events, want exactly the budget of 10", fired)
+	}
+	if !e.BudgetExceeded() {
+		t.Fatal("budget exhaustion not reported")
+	}
+	if e.Pending() == 0 {
+		t.Fatal("runaway chain should still have its next event queued")
+	}
+	// The refusal is sticky: further steps do nothing.
+	if e.Step() {
+		t.Fatal("engine dispatched past an exhausted budget")
+	}
+}
+
+// TestBudgetExceededDistinguishesEmptyQueue: Run ending normally must not
+// look like a budget kill.
+func TestBudgetExceededDistinguishesEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(10)
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("event not dispatched")
+	}
+	if e.BudgetExceeded() {
+		t.Fatal("clean drain reported as budget exhaustion")
+	}
+}
+
+func TestZeroBudgetIsUnbounded(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var step func()
+	step = func() {
+		fired++
+		if fired < 1000 {
+			e.After(Nanosecond, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if fired != 1000 || e.BudgetExceeded() {
+		t.Fatalf("fired %d, exceeded %v", fired, e.BudgetExceeded())
+	}
+}
+
+// TestDefaultEventBudgetInherited: the process-wide default reaches
+// engines built after it is set, and restoring the previous value stops
+// the inheritance — the swap discipline the experiment watchdog relies on.
+func TestDefaultEventBudgetInherited(t *testing.T) {
+	prev := SetDefaultEventBudget(5)
+	defer SetDefaultEventBudget(prev)
+	e := NewEngine()
+	var fired int
+	chain(e, Microsecond, &fired)
+	e.Run()
+	if fired != 5 || !e.BudgetExceeded() {
+		t.Fatalf("fired %d, exceeded %v — default budget not inherited", fired, e.BudgetExceeded())
+	}
+	if got := SetDefaultEventBudget(prev); got != 5 {
+		t.Fatalf("swap returned %d, want the displaced value 5", got)
+	}
+	e2 := NewEngine()
+	e2.Schedule(0, func() {})
+	e2.Run()
+	if e2.BudgetExceeded() {
+		t.Fatal("restored default still bounding new engines")
+	}
+}
+
+// TestLoweringBudgetBelowFiredStops: a budget set mid-run below the fired
+// count halts the engine on the next step.
+func TestLoweringBudgetBelowFiredStops(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var step func()
+	step = func() {
+		fired++
+		if fired == 3 {
+			e.SetEventBudget(2) // already over
+		}
+		e.After(Microsecond, step)
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if fired != 3 || !e.BudgetExceeded() {
+		t.Fatalf("fired %d, exceeded %v", fired, e.BudgetExceeded())
+	}
+}

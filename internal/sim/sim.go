@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is an absolute simulated time in picoseconds.
@@ -104,14 +105,43 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 	hooks   []DispatchHook
+
+	// budget, when non-zero, bounds how many events the engine will
+	// dispatch; exceeded flips once the bound is hit and the engine
+	// refuses further steps — a runaway model becomes a detectable,
+	// reportable condition instead of an endless loop.
+	budget   uint64
+	exceeded bool
 }
 
 // DispatchHook observes each dispatched event: the time it fired, the queue
 // depth after removing it, and the cumulative fired count including it.
 type DispatchHook func(at Time, pending int, fired uint64)
 
+// defaultEventBudget is the process-wide budget applied to every new
+// engine (0 = unbounded). Atomic so a watchdog goroutine can set it while
+// simulations construct engines.
+var defaultEventBudget atomic.Uint64
+
+// SetDefaultEventBudget sets the event budget every subsequently built
+// Engine starts with (0 = unbounded) and returns the previous value. The
+// experiment watchdog uses this to bound runaway simulations it cannot
+// reach directly.
+func SetDefaultEventBudget(n uint64) uint64 {
+	return defaultEventBudget.Swap(n)
+}
+
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{budget: defaultEventBudget.Load()} }
+
+// SetEventBudget bounds the total events this engine may dispatch
+// (0 = unbounded). Lowering the budget below the fired count stops the
+// engine on its next step.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// BudgetExceeded reports whether the engine refused to dispatch because
+// the event budget ran out.
+func (e *Engine) BudgetExceeded() bool { return e.exceeded }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -178,8 +208,14 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.queue, ev.idx)
 }
 
-// Step dispatches the next event. It reports false when the queue is empty.
+// Step dispatches the next event. It reports false when the queue is empty
+// or the event budget is exhausted (see BudgetExceeded to tell the two
+// apart).
 func (e *Engine) Step() bool {
+	if e.budget > 0 && e.fired >= e.budget {
+		e.exceeded = true
+		return false
+	}
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {

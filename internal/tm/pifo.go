@@ -3,6 +3,7 @@ package tm
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/internal/packet"
 )
@@ -190,3 +191,45 @@ func (m *MergeTM) Len() int {
 
 // Flows returns the number of flows that have ever pushed.
 func (m *MergeTM) Flows() int { return len(m.flows) }
+
+// FlowContract is the checkpointable per-flow merge state: the sortedness
+// contract (last accepted rank) that future pushes must honor. Queued
+// packets are transient — checkpoints are taken when the merge is drained —
+// so the contract is all that persists.
+type FlowContract struct {
+	Flow     uint64
+	LastRank uint64
+}
+
+// Contract exports every flow's sortedness contract in ascending flow-key
+// order (deterministic regardless of map iteration).
+func (m *MergeTM) Contract() []FlowContract {
+	cs := make([]FlowContract, 0, len(m.flows))
+	for _, fq := range m.flows {
+		if !fq.pushed {
+			continue
+		}
+		cs = append(cs, FlowContract{Flow: fq.key, LastRank: fq.lastRank})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Flow < cs[j].Flow })
+	return cs
+}
+
+// RestoreContract loads flow contracts into an empty merge, so restored
+// flows resume enforcing non-decreasing ranks where the checkpoint left
+// off.
+func (m *MergeTM) RestoreContract(cs []FlowContract) error {
+	if m.Len() != 0 {
+		return fmt.Errorf("tm: restore contract with %d packets queued", m.Len())
+	}
+	for _, c := range cs {
+		fq := m.flows[c.Flow]
+		if fq == nil {
+			fq = &flowQueue{key: c.Flow}
+			m.flows[c.Flow] = fq
+		}
+		fq.lastRank = c.LastRank
+		fq.pushed = true
+	}
+	return nil
+}

@@ -212,6 +212,37 @@ func (t *SharedMemoryTM) Dequeued() uint64 { return t.dequeued }
 // Dropped returns tail-dropped packets.
 func (t *SharedMemoryTM) Dropped() uint64 { return t.dropped }
 
+// Counters is the TM's checkpointable accounting. Buffered packets are
+// transient (checkpoints are taken at packet boundaries, when the shared
+// memory is empty); the counters are what persists.
+type Counters struct {
+	Enqueued, Dequeued, Dropped uint64
+	PeakBytes                   int
+}
+
+// Counters exports the TM's accounting.
+func (t *SharedMemoryTM) Counters() Counters {
+	return Counters{
+		Enqueued:  t.enqueued,
+		Dequeued:  t.dequeued,
+		Dropped:   t.dropped,
+		PeakBytes: t.peakBytes,
+	}
+}
+
+// RestoreCounters overwrites the TM's accounting from a checkpoint. The
+// buffer must be empty (a checkpoint never captures in-flight packets).
+func (t *SharedMemoryTM) RestoreCounters(c Counters) error {
+	if t.Pending() != 0 {
+		return fmt.Errorf("tm: restore with %d packets buffered", t.Pending())
+	}
+	t.enqueued = c.Enqueued
+	t.dequeued = c.Dequeued
+	t.dropped = c.Dropped
+	t.peakBytes = c.PeakBytes
+	return nil
+}
+
 // Pending returns total packets buffered across all queues.
 func (t *SharedMemoryTM) Pending() int {
 	n := 0
