@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-check soak experiments tables examples cover clean ci
+.PHONY: all build test race bench bench-check soak experiments tables examples cover clean ci docs-check
 
 all: build test
 
@@ -17,7 +17,7 @@ test:
 race:
 	go test -race ./...
 
-# Full benchmark pass, as recorded in bench_output.txt.
+# Full benchmark pass (see docs/PERFORMANCE.md).
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -33,11 +33,18 @@ bench-check:
 
 # Chaos soak: random fault plans (loss, corruption, link-down windows,
 # host crashes, switch stalls) against the network with recovery enabled;
-# asserts ledger conservation and coflow completion for every seed.
-# Override the sweep width with SOAK_SEEDS=<n>.
+# asserts ledger conservation and coflow completion for every seed. Seeds
+# fan out across the parallel worker pool. Override the sweep width with
+# SOAK_SEEDS=<n> and the pool width with PARALLEL=<n> (default: NumCPU).
 SOAK_SEEDS ?= 200
+PARALLEL ?=
 soak:
-	SOAK_SEEDS=$(SOAK_SEEDS) go test -run TestChaosSoak -v ./internal/netsim/
+	SOAK_SEEDS=$(SOAK_SEEDS) PARALLEL=$(PARALLEL) go test -run TestChaosSoak -v ./internal/netsim/
+
+# Documentation lint: every internal package and command carries a godoc
+# comment, and every relative markdown link in README.md / docs/ resolves.
+docs-check:
+	go run ./cmd/docscheck
 
 # Every table and figure of the paper.
 experiments:
@@ -64,6 +71,7 @@ ci:
 	go vet ./...
 	go build ./...
 	go test ./...
+	go run ./cmd/docscheck
 	go run ./cmd/adcpsim -exp table1 -metrics /tmp/m.json > /dev/null
 	@python3 -c 'import json; s = json.load(open("/tmp/m.json")); \
 		assert s["schema"] == "adcp-metrics/1"; \

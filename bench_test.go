@@ -24,7 +24,9 @@ package repro
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/apps"
@@ -433,4 +435,40 @@ func BenchmarkDemuxSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(rows[0].RequiredClockGHz/rows[len(rows)-1].RequiredClockGHz, "clock-reduction@1:4")
+}
+
+// BenchmarkParallelFailoverSweep measures the sweep engine's wall-clock
+// speedup: the full failover sweep (14 independent points) at pool width 1
+// vs width 4. Reported metrics: both wall times and the speedup ratio;
+// with BENCH_JSON set the same numbers land as exp.parallel.* series. The
+// ratio reflects the machine it ran on — on a single-core container the
+// honest answer is ~1.0x; with 4+ cores the independent points overlap and
+// the sweep approaches the slowest-point bound (≥2x in practice). Excluded
+// from BENCH_SUBSET/bench_baseline.json: wall-clock ratios are not
+// deterministic, unlike the simulated headline metrics pinned there.
+func BenchmarkParallelFailoverSweep(b *testing.B) {
+	sweep := func(workers int) time.Duration {
+		prev := experiments.SetParallelism(workers)
+		defer experiments.SetParallelism(prev)
+		start := time.Now()
+		if _, _, err := experiments.Failover(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		seq += sweep(1)
+		par += sweep(4)
+	}
+	speedup := float64(seq) / float64(par)
+	b.ReportMetric(seq.Seconds()/float64(b.N), "seq-s")
+	b.ReportMetric(par.Seconds()/float64(b.N), "par4-s")
+	b.ReportMetric(speedup, "speedup-4w")
+	if reg := telemetry.Hub().Reg(); reg != nil {
+		reg.Set("exp.parallel.seq_wall_s", seq.Seconds()/float64(b.N))
+		reg.Set("exp.parallel.par4_wall_s", par.Seconds()/float64(b.N))
+		reg.Set("exp.parallel.speedup_4w", speedup)
+		reg.Set("exp.parallel.cpus", float64(runtime.NumCPU()))
+	}
 }

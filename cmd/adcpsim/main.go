@@ -24,7 +24,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
@@ -84,8 +83,9 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	samplesJSON := fs.String("samples-json", "", "write sampled time series as JSON to this file")
 	sampleIntervalUS := fs.Int("sample-interval-us", 10, "sampling period in simulated microseconds")
 	sampleCap := fs.Int("sample-cap", telemetry.DefaultSampleCapacity, "ring-buffer capacity per sampled series")
-	expTimeout := fs.Duration("exp-timeout", 0, "wall-clock watchdog deadline per experiment (0 = none)")
+	expTimeout := fs.Duration("exp-timeout", 0, "wall-clock watchdog deadline for the whole selected run (0 = none)")
 	expBudget := fs.Uint64("exp-event-budget", 0, "sim-event budget per experiment (0 = unbounded)")
+	parallelN := fs.Int("parallel", runtime.NumCPU(), "worker-pool width for sweep points (1 = sequential; output bytes are identical at any width)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -180,6 +180,35 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		defer srv.Close()
 	}
 
+	// Sweep parallelism: sweeps inside the experiments package fan their
+	// independent points across a worker pool of this width. Tracing forces
+	// sequential execution — traces are not mergeable.
+	workers := *parallelN
+	if tel != nil && tel.Tracer != nil && workers != 1 {
+		fmt.Fprintln(stderr, "tracing requested: forcing -parallel 1 (traces are not mergeable)")
+		workers = 1
+	}
+	prevWorkers := experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prevWorkers)
+	if *progress {
+		experiments.SetPointProgress(func(sweep string, done, total int) {
+			fmt.Fprintf(stderr, "  %s: %d/%d points\n", sweep, done, total)
+		})
+		defer experiments.SetPointProgress(nil)
+	}
+
+	// The watchdog deadline bounds the WHOLE selected run: one context is
+	// built up front and shared by every experiment, so -exp-timeout is the
+	// wall-clock budget for `adcpsim -exp ...` in total, not per table.
+	// Once it expires, the running experiment is killed and the remaining
+	// ones are skipped (reported as failed without running).
+	runCtx := context.Background()
+	if *expTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *expTimeout)
+		defer cancel()
+	}
+
 	// Run every selected experiment even when an earlier one fails: a broken
 	// table must not hide whether the rest still reproduce. Failures are
 	// reported per experiment id and make the whole run exit non-zero.
@@ -190,11 +219,17 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			if !all && !want[e.name] {
 				continue
 			}
+			if runCtx.Err() != nil {
+				fmt.Fprintf(stderr, "experiment %s skipped: -exp-timeout expired for the run\n", e.name)
+				failed = append(failed, e.name)
+				ran++
+				continue
+			}
 			if *progress {
 				fmt.Fprintf(stderr, "running %s...\n", e.name)
 			}
 			srv.markRunning(e.name)
-			err := runWatched(e, stdout, *expTimeout, *expBudget)
+			err := runWatched(runCtx, e, stdout, *expBudget)
 			srv.markDone(e.name, err != nil)
 			if tel != nil {
 				srv.publish(tel.Reg())
@@ -240,16 +275,11 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runWatched runs one experiment under the watchdog. With no timeout and no
-// event budget it degenerates to a plain call (experiments.Run with a
-// background context never trips), so the default CLI behavior is unchanged.
-func runWatched(e experiment, stdout io.Writer, timeout time.Duration, budget uint64) error {
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+// runWatched runs one experiment under the watchdog, sharing the run-wide
+// deadline context. With a background context and no event budget it
+// degenerates to a plain call (experiments.Run never trips), so the
+// default CLI behavior is unchanged.
+func runWatched(ctx context.Context, e experiment, stdout io.Writer, budget uint64) error {
 	err := experiments.Run(ctx, e.name, budget, func() error { return e.run(stdout) })
 	var we *experiments.WatchdogError
 	if errors.As(err, &we) {

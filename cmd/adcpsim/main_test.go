@@ -60,8 +60,8 @@ func TestRunMetricsOutput(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr = %q", code, errw)
 	}
-	if telemetry.Default != nil {
-		t.Fatal("telemetry.Default not reset after run")
+	if telemetry.Hub() != nil {
+		t.Fatal("ambient telemetry hub not reset after run")
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {

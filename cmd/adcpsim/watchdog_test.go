@@ -11,15 +11,18 @@ import (
 	"repro/internal/sim"
 )
 
-// TestExpTimeoutKillsHangingExperiment: a wedged experiment under
-// -exp-timeout exits non-zero with a watchdog diagnosis and a truncation
-// marker, and later experiments in the selection still run.
+// TestExpTimeoutKillsHangingExperiment: -exp-timeout bounds the WHOLE
+// selected run. A wedged experiment exits non-zero with a watchdog
+// diagnosis and a truncation marker, and once the deadline has expired the
+// remaining experiments in the selection are skipped (reported failed
+// without running) — the flag is a hard wall-clock budget for the run,
+// not a per-table allowance.
 func TestExpTimeoutKillsHangingExperiment(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	exps := []experiment{
 		{"hang", "never returns", func(io.Writer) error { <-release; return nil }},
-		{"after", "runs after the kill", func(w io.Writer) error {
+		{"after", "skipped once the deadline expired", func(w io.Writer) error {
 			fmt.Fprintln(w, "after-ran")
 			return nil
 		}},
@@ -35,8 +38,14 @@ func TestExpTimeoutKillsHangingExperiment(t *testing.T) {
 	if !strings.Contains(out.String(), "killed by watchdog") {
 		t.Fatalf("stdout missing truncation marker: %s", out.String())
 	}
-	if !strings.Contains(out.String(), "after-ran") {
-		t.Fatal("experiment after the kill did not run")
+	if strings.Contains(out.String(), "after-ran") {
+		t.Fatal("experiment after the expired deadline ran; -exp-timeout must bound the whole run")
+	}
+	if !strings.Contains(errw.String(), "after skipped") {
+		t.Fatalf("stderr missing skip report for the remaining experiment: %s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "failed experiments: hang, after") {
+		t.Fatalf("failed list should include both the killed and the skipped experiment: %s", errw.String())
 	}
 }
 

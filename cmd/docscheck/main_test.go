@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The repository itself must pass its own documentation lint — this is
+// the same gate `make docs-check` applies in CI.
+func TestRepositoryPassesDocscheck(t *testing.T) {
+	problems := check(filepath.Join("..", ".."))
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingPackageDocDetected(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, root, "internal/bad/bad.go", "package bad\n")
+	write(t, root, "cmd/tool/main.go", "// Command tool does things.\npackage main\n")
+	write(t, root, "cmd/undoc/main.go", "package main\n")
+	problems := check(root)
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "internal/bad") {
+		t.Errorf("undocumented internal package not flagged: %v", problems)
+	}
+	if !strings.Contains(joined, "cmd/undoc") {
+		t.Errorf("undocumented command not flagged: %v", problems)
+	}
+	if strings.Contains(joined, "internal/good") || strings.Contains(joined, "cmd/tool") {
+		t.Errorf("documented packages flagged: %v", problems)
+	}
+}
+
+func TestBrokenMarkdownLinkDetected(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "DESIGN.md", "design doc\n")
+	write(t, root, "docs/REAL.md", "# real\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"see [design](DESIGN.md) and [real](docs/REAL.md)",
+		"skip [site](https://example.com) and [anchor](#section) and [mail](mailto:x@y.z)",
+		"fragment ok: [real section](docs/REAL.md#part)",
+		"broken: [ghost](docs/GHOST.md)",
+		"broken fragment: [gone](MISSING.md#x)",
+	}, "\n"))
+	problems := check(root)
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "docs/GHOST.md") {
+		t.Errorf("broken link not flagged: %v", problems)
+	}
+	if !strings.Contains(joined, "MISSING.md") {
+		t.Errorf("broken link with fragment not flagged: %v", problems)
+	}
+	for _, ok := range []string{"DESIGN.md", "REAL.md#part", "example.com", "#section", "mailto"} {
+		for _, p := range problems {
+			if strings.Contains(p, ok) && !strings.Contains(p, "GHOST") && !strings.Contains(p, "MISSING") {
+				t.Errorf("valid link flagged: %s", p)
+			}
+		}
+	}
+	// Links inside docs/ resolve relative to docs/.
+	write(t, root, "docs/INDEX.md", "[up](../DESIGN.md) [sib](REAL.md) [bad](NOPE.md)\n")
+	problems = check(root)
+	joined = strings.Join(problems, "\n")
+	if !strings.Contains(joined, "NOPE.md") {
+		t.Errorf("broken sibling link not flagged: %v", problems)
+	}
+	if strings.Contains(joined, "../DESIGN.md") || strings.Contains(joined, `"REAL.md"`) {
+		t.Errorf("valid relative links flagged: %v", problems)
+	}
+}

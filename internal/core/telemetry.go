@@ -30,7 +30,7 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	reg, tr := tel.Reg(), tel.Trace()
 	inst := "0"
 	if reg != nil {
-		inst = reg.NextInstance("adcp")
+		inst = reg.InstanceLabel("instance").Value
 	}
 	ls := []telemetry.Label{telemetry.L("arch", "adcp"), telemetry.L("instance", inst)}
 	var occ1, occ2 *telemetry.Gauge

@@ -72,107 +72,145 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 		return apps.NewParamServerADCP(adcpConfig(cc), ps)
 	}
 
-	t := stats.NewTable(
-		"Failover sweep: parameter-server CCT across a switch crash with warm-standby replication",
-		"arch", "crash", "sync", "CCT", "inflation", "recovery", "replay", "delta bytes", "repl overhead", "retx",
-	)
-	var rows []FailoverRow
-	for _, arch := range []string{"rmt", "adcp"} {
-		// The plain run (no standby, no faults) anchors the crash times
-		// and the inflation baseline.
+	// Stage 1 — the plain runs (no standby, no faults) that anchor the
+	// crash times and inflation baselines. One independent point per
+	// architecture.
+	archs := []string{"rmt", "adcp"}
+	bases := make([]sim.Time, len(archs))
+	if err := runPoints("failover.baseline", len(archs), func(i int) error {
+		arch := archs[i]
 		plainSW, err := build(arch)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		plain, err := apps.RunParamServer(plainSW, netsim.DefaultConfig(cc.Ports), ps, 25, 99)
 		if err != nil {
-			return nil, nil, fmt.Errorf("failover %s baseline: %w", arch, err)
+			return fmt.Errorf("failover %s baseline: %w", arch, err)
 		}
 		if len(plain.Errors) > 0 {
-			return nil, nil, fmt.Errorf("failover %s baseline errors: %v", arch, plain.Errors)
+			return fmt.Errorf("failover %s baseline errors: %v", arch, plain.Errors)
 		}
-		base := plain.CCT
-		record("failover.base_cct_ps", float64(base), lbl("arch", arch))
+		bases[i] = plain.CCT
+		record("failover.base_cct_ps", float64(plain.CCT), lbl("arch", arch))
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
 
+	// Stage 2 — the full (arch × crash fraction × sync interval) grid.
+	// Every cell depends only on its architecture's baseline, so the grid
+	// fans out across the worker pool. Each point fills its row slot and a
+	// one-row table fragment; the fragments merge in point order below,
+	// reproducing the sequential table exactly.
+	tableHeader := []string{"arch", "crash", "sync", "CCT", "inflation", "recovery", "replay", "delta bytes", "repl overhead", "retx"}
+	const tableTitle = "Failover sweep: parameter-server CCT across a switch crash with warm-standby replication"
+	type cell struct {
+		arch   string
+		base   sim.Time
+		frac   float64
+		syncIv sim.Time
+		seed   uint64
+	}
+	var cells []cell
+	for ai, arch := range archs {
 		point := 0
 		for _, frac := range crashFracs {
 			for _, syncIv := range syncIntervals {
-				primary, err := build(arch)
-				if err != nil {
-					return nil, nil, err
-				}
-				standby, err := build(arch)
-				if err != nil {
-					return nil, nil, err
-				}
-				ncfg := netsim.DefaultConfig(cc.Ports)
-				ncfg.Recovery = &rec
-				ncfg.Standby = standby
-				opt := ha.DefaultOptions()
-				opt.SyncInterval = syncIv
-				ncfg.HA = &opt
-				crashAt := sim.Time(frac * float64(base))
-				if crashAt > 0 {
-					ncfg.Faults = &faults.Plan{
-						Seed:          failoverSeed(point, arch),
-						SwitchCrashAt: crashAt,
-					}
-				}
-				res, err := apps.RunParamServer(primary, ncfg, ps, 25, 99)
-				if err != nil {
-					return nil, nil, fmt.Errorf("failover %s crash %g sync %v: %w", arch, frac, syncIv, err)
-				}
-				if len(res.Errors) > 0 {
-					return nil, nil, fmt.Errorf("failover %s crash %g sync %v errors: %v", arch, frac, syncIv, res.Errors)
-				}
-				st := res.Network.HA().Stats()
-				led := res.Network.Ledger()
-				row := FailoverRow{
-					Arch:         arch,
-					CrashFrac:    frac,
-					CrashAt:      crashAt,
-					SyncInterval: syncIv,
-					CCT:          res.CCT,
-					Inflation:    float64(res.CCT) / float64(base),
-					ReplayDepth:  st.ReplayDepth,
-					DeltaBytes:   st.DeltaBytes,
-					Retransmits:  led.UplinkRetx + led.DownlinkRetx,
-				}
-				if st.Promotions > 0 {
-					row.RecoveryPs = st.PromotedAt - st.CrashAt
-				}
-				if sent := res.Network.Tracker().Status(25).SentBytes; sent > 0 {
-					row.ReplOverhead = float64(row.DeltaBytes) / float64(sent)
-				}
-				rows = append(rows, row)
-				la, lc, lsy := lbl("arch", arch), lbl("crash", lf(frac)), lbl("sync_ps", li(int(syncIv)))
-				record("failover.cct_ps", float64(row.CCT), la, lc, lsy)
-				record("failover.cct_inflation", row.Inflation, la, lc, lsy)
-				record("failover.recovery_ps", float64(row.RecoveryPs), la, lc, lsy)
-				record("failover.replay_depth", float64(row.ReplayDepth), la, lc, lsy)
-				record("failover.delta_bytes", float64(row.DeltaBytes), la, lc, lsy)
-				record("failover.repl_overhead", row.ReplOverhead, la, lc, lsy)
-				record("failover.retransmits", float64(row.Retransmits), la, lc, lsy)
-				record("failover.staleness_max_ps", float64(st.MaxStalenessPs), la, lc, lsy)
-				crash := "none"
-				if crashAt > 0 {
-					crash = fmt.Sprintf("%.0f%%=%v", frac*100, crashAt)
-				}
-				syncLabel := "immediate"
-				if syncIv > 0 {
-					syncLabel = syncIv.String()
-				}
-				recovery := "-"
-				if st.Promotions > 0 {
-					recovery = row.RecoveryPs.String()
-				}
-				t.AddRow(arch, crash, syncLabel, row.CCT.String(),
-					fmt.Sprintf("%.2fx", row.Inflation), recovery,
-					fmt.Sprintf("%d", row.ReplayDepth), fmt.Sprintf("%d", row.DeltaBytes),
-					fmt.Sprintf("%.3f", row.ReplOverhead), fmt.Sprintf("%d", row.Retransmits))
+				cells = append(cells, cell{
+					arch: arch, base: bases[ai], frac: frac, syncIv: syncIv,
+					seed: failoverSeed(point, arch),
+				})
 				point++
 			}
 		}
+	}
+	rows := make([]FailoverRow, len(cells))
+	frags := make([]*stats.Table, len(cells))
+	if err := runPoints("failover", len(cells), func(i int) error {
+		c := cells[i]
+		primary, err := build(c.arch)
+		if err != nil {
+			return err
+		}
+		standby, err := build(c.arch)
+		if err != nil {
+			return err
+		}
+		ncfg := netsim.DefaultConfig(cc.Ports)
+		ncfg.Recovery = &rec
+		ncfg.Standby = standby
+		opt := ha.DefaultOptions()
+		opt.SyncInterval = c.syncIv
+		ncfg.HA = &opt
+		crashAt := sim.Time(c.frac * float64(c.base))
+		if crashAt > 0 {
+			ncfg.Faults = &faults.Plan{
+				Seed:          c.seed,
+				SwitchCrashAt: crashAt,
+			}
+		}
+		res, err := apps.RunParamServer(primary, ncfg, ps, 25, 99)
+		if err != nil {
+			return fmt.Errorf("failover %s crash %g sync %v: %w", c.arch, c.frac, c.syncIv, err)
+		}
+		if len(res.Errors) > 0 {
+			return fmt.Errorf("failover %s crash %g sync %v errors: %v", c.arch, c.frac, c.syncIv, res.Errors)
+		}
+		st := res.Network.HA().Stats()
+		led := res.Network.Ledger()
+		row := FailoverRow{
+			Arch:         c.arch,
+			CrashFrac:    c.frac,
+			CrashAt:      crashAt,
+			SyncInterval: c.syncIv,
+			CCT:          res.CCT,
+			Inflation:    float64(res.CCT) / float64(c.base),
+			ReplayDepth:  st.ReplayDepth,
+			DeltaBytes:   st.DeltaBytes,
+			Retransmits:  led.UplinkRetx + led.DownlinkRetx,
+		}
+		if st.Promotions > 0 {
+			row.RecoveryPs = st.PromotedAt - st.CrashAt
+		}
+		if sent := res.Network.Tracker().Status(25).SentBytes; sent > 0 {
+			row.ReplOverhead = float64(row.DeltaBytes) / float64(sent)
+		}
+		rows[i] = row
+		la, lc, lsy := lbl("arch", c.arch), lbl("crash", lf(c.frac)), lbl("sync_ps", li(int(c.syncIv)))
+		record("failover.cct_ps", float64(row.CCT), la, lc, lsy)
+		record("failover.cct_inflation", row.Inflation, la, lc, lsy)
+		record("failover.recovery_ps", float64(row.RecoveryPs), la, lc, lsy)
+		record("failover.replay_depth", float64(row.ReplayDepth), la, lc, lsy)
+		record("failover.delta_bytes", float64(row.DeltaBytes), la, lc, lsy)
+		record("failover.repl_overhead", row.ReplOverhead, la, lc, lsy)
+		record("failover.retransmits", float64(row.Retransmits), la, lc, lsy)
+		record("failover.staleness_max_ps", float64(st.MaxStalenessPs), la, lc, lsy)
+		crash := "none"
+		if crashAt > 0 {
+			crash = fmt.Sprintf("%.0f%%=%v", c.frac*100, crashAt)
+		}
+		syncLabel := "immediate"
+		if c.syncIv > 0 {
+			syncLabel = c.syncIv.String()
+		}
+		recovery := "-"
+		if st.Promotions > 0 {
+			recovery = row.RecoveryPs.String()
+		}
+		frag := stats.NewTable(tableTitle, tableHeader...)
+		frag.AddRow(c.arch, crash, syncLabel, row.CCT.String(),
+			fmt.Sprintf("%.2fx", row.Inflation), recovery,
+			fmt.Sprintf("%d", row.ReplayDepth), fmt.Sprintf("%d", row.DeltaBytes),
+			fmt.Sprintf("%.3f", row.ReplOverhead), fmt.Sprintf("%d", row.Retransmits))
+		frags[i] = frag
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	t := stats.NewTable(tableTitle, tableHeader...)
+	for _, frag := range frags {
+		t.Merge(frag)
 	}
 	return t, rows, nil
 }

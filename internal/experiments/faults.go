@@ -75,46 +75,68 @@ func Faults(lossRates []float64) (*stats.Table, []FaultsRow, error) {
 		return res, nil
 	}
 
+	// Every (rate, arch) point is independent — each builds its own switch
+	// and network and is pinned to its own injector seed — so the grid fans
+	// out across the worker pool and rows fill result slots by index.
+	// Inflation needs each architecture's loss-free CCT, so it is computed
+	// in the in-order assembly pass below, after all points finish.
+	type cell struct {
+		rateIdx int
+		rate    float64
+		arch    string
+	}
+	var cells []cell
+	for i, rate := range lossRates {
+		for _, arch := range []string{"rmt", "adcp"} {
+			cells = append(cells, cell{rateIdx: i, rate: rate, arch: arch})
+		}
+	}
+	rows := make([]FaultsRow, len(cells))
+	if err := runPoints("faults", len(cells), func(i int) error {
+		c := cells[i]
+		res, err := run(c.arch, c.rateIdx, c.rate)
+		if err != nil {
+			return fmt.Errorf("faults %s @ %g: %w", c.arch, c.rate, err)
+		}
+		led := res.Network.Ledger()
+		row := FaultsRow{
+			LossRate:     c.rate,
+			Arch:         c.arch,
+			CCT:          res.CCT,
+			Retransmits:  led.UplinkRetx + led.DownlinkRetx,
+			LostAttempts: led.TxLost + led.TxCorrupt + led.RxLost + led.RxCorrupt,
+		}
+		if res.Injected > 0 {
+			row.Overhead = float64(row.Retransmits) / float64(res.Injected)
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
 	t := stats.NewTable(
 		"Fault sweep: parameter-server CCT under link loss with end-host recovery (RMT vs ADCP)",
 		"loss rate", "arch", "CCT", "inflation", "retransmits", "retx overhead", "lost attempts",
 	)
-	var rows []FaultsRow
 	baseline := map[string]sim.Time{}
-	for i, rate := range lossRates {
-		for _, arch := range []string{"rmt", "adcp"} {
-			res, err := run(arch, i, rate)
-			if err != nil {
-				return nil, nil, fmt.Errorf("faults %s @ %g: %w", arch, rate, err)
-			}
-			led := res.Network.Ledger()
-			row := FaultsRow{
-				LossRate:     rate,
-				Arch:         arch,
-				CCT:          res.CCT,
-				Retransmits:  led.UplinkRetx + led.DownlinkRetx,
-				LostAttempts: led.TxLost + led.TxCorrupt + led.RxLost + led.RxCorrupt,
-			}
-			if res.Injected > 0 {
-				row.Overhead = float64(row.Retransmits) / float64(res.Injected)
-			}
-			if base, ok := baseline[arch]; ok && base > 0 {
-				row.Inflation = float64(row.CCT) / float64(base)
-			} else {
-				baseline[arch] = row.CCT
-				row.Inflation = 1
-			}
-			rows = append(rows, row)
-			ll, la := lbl("loss", lf(rate)), lbl("arch", arch)
-			record("faults.cct_ps", float64(row.CCT), ll, la)
-			record("faults.cct_inflation", row.Inflation, ll, la)
-			record("faults.retransmits", float64(row.Retransmits), ll, la)
-			record("faults.retx_overhead", row.Overhead, ll, la)
-			record("faults.lost_attempts", float64(row.LostAttempts), ll, la)
-			t.AddRow(fmt.Sprintf("%.1f%%", rate*100), arch, row.CCT.String(),
-				fmt.Sprintf("%.2fx", row.Inflation), fmt.Sprintf("%d", row.Retransmits),
-				fmt.Sprintf("%.3f", row.Overhead), fmt.Sprintf("%d", row.LostAttempts))
+	for i := range rows {
+		row := &rows[i]
+		if base, ok := baseline[row.Arch]; ok && base > 0 {
+			row.Inflation = float64(row.CCT) / float64(base)
+		} else {
+			baseline[row.Arch] = row.CCT
+			row.Inflation = 1
 		}
+		ll, la := lbl("loss", lf(row.LossRate)), lbl("arch", row.Arch)
+		record("faults.cct_ps", float64(row.CCT), ll, la)
+		record("faults.cct_inflation", row.Inflation, ll, la)
+		record("faults.retransmits", float64(row.Retransmits), ll, la)
+		record("faults.retx_overhead", row.Overhead, ll, la)
+		record("faults.lost_attempts", float64(row.LostAttempts), ll, la)
+		t.AddRow(fmt.Sprintf("%.1f%%", row.LossRate*100), row.Arch, row.CCT.String(),
+			fmt.Sprintf("%.2fx", row.Inflation), fmt.Sprintf("%d", row.Retransmits),
+			fmt.Sprintf("%.3f", row.Overhead), fmt.Sprintf("%d", row.LostAttempts))
 	}
 	return t, rows, nil
 }

@@ -30,43 +30,65 @@ type LandscapeRow struct {
 // ADCP — on the §1/§2 axes. It is the paper's "architectural variations"
 // survey made executable.
 func Landscape() (*stats.Table, []LandscapeRow, error) {
-	sw, err := swswitch.New(swswitch.DefaultConfig())
-	if err != nil {
-		return nil, nil, err
-	}
-	dsw, err := drmt.New(drmt.DefaultConfig())
-	if err != nil {
-		return nil, nil, err
-	}
 	const rmtClock = 1.25e9
 	const adcpClock = 1.0e9
 
-	rows := []LandscapeRow{
-		{
-			Arch:        "software (run-to-completion)",
-			PPSAt8Ops:   sw.ThroughputPPS(8),
-			MaxOps:      0, // unbounded, just slower
-			SharedState: true,
+	// Each architecture's characterization is an independent sweep point:
+	// the two model constructions (software, dRMT) run off the caller's
+	// goroutine when the pool is parallel.
+	builders := []func() (LandscapeRow, error){
+		func() (LandscapeRow, error) {
+			sw, err := swswitch.New(swswitch.DefaultConfig())
+			if err != nil {
+				return LandscapeRow{}, err
+			}
+			return LandscapeRow{
+				Arch:        "software (run-to-completion)",
+				PPSAt8Ops:   sw.ThroughputPPS(8),
+				MaxOps:      0, // unbounded, just slower
+				SharedState: true,
+			}, nil
 		},
-		{
-			Arch:               "RMT (line-rate pipeline)",
-			PPSAt8Ops:          rmtClock,
-			MaxOps:             12, // one op per stage per traversal
-			StageFragmentation: true,
+		func() (LandscapeRow, error) {
+			return LandscapeRow{
+				Arch:               "RMT (line-rate pipeline)",
+				PPSAt8Ops:          rmtClock,
+				MaxOps:             12, // one op per stage per traversal
+				StageFragmentation: true,
+			}, nil
 		},
-		{
-			Arch:        "dRMT (disaggregated processors)",
-			PPSAt8Ops:   dsw.ThroughputPPS(8),
-			MaxOps:      dsw.Config().MaxOpsPerPacket,
-			SharedState: true,
+		func() (LandscapeRow, error) {
+			dsw, err := drmt.New(drmt.DefaultConfig())
+			if err != nil {
+				return LandscapeRow{}, err
+			}
+			return LandscapeRow{
+				Arch:        "dRMT (disaggregated processors)",
+				PPSAt8Ops:   dsw.ThroughputPPS(8),
+				MaxOps:      dsw.Config().MaxOpsPerPacket,
+				SharedState: true,
+			}, nil
 		},
-		{
-			Arch:        "ADCP (coflow processor)",
-			PPSAt8Ops:   adcpClock, // 8 ops fit one array traversal
-			MaxOps:      12 * 16,   // stages × array width
-			SharedState: true,      // via the global partitioned area
-			ArrayMatch:  true,
+		func() (LandscapeRow, error) {
+			return LandscapeRow{
+				Arch:        "ADCP (coflow processor)",
+				PPSAt8Ops:   adcpClock, // 8 ops fit one array traversal
+				MaxOps:      12 * 16,   // stages × array width
+				SharedState: true,      // via the global partitioned area
+				ArrayMatch:  true,
+			}, nil
 		},
+	}
+	rows := make([]LandscapeRow, len(builders))
+	if err := runPoints("landscape", len(builders), func(i int) error {
+		r, err := builders[i]()
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 
 	t := stats.NewTable(

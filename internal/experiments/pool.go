@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// poolWorkers holds the configured sweep parallelism (0 = NumCPU);
+// pointProgress holds the optional per-point progress callback. Both are
+// process-wide knobs set by the harness (cmd/adcpsim) before experiments
+// run.
+var (
+	poolWorkers   atomic.Int32
+	pointProgress atomic.Value // func(sweep string, done, total int)
+)
+
+// SetParallelism sets the worker-pool width every sweep in this package
+// uses for its independent points, returning the previous setting so
+// harnesses (and benchmarks) can restore it. n ≤ 0 selects
+// runtime.NumCPU(). Parallelism only changes scheduling, never results:
+// sweep telemetry and tables are merged in point order, so output bytes
+// are identical at any width.
+func SetParallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(poolWorkers.Swap(int32(n)))
+}
+
+// Parallelism returns the effective worker-pool width for sweep points.
+func Parallelism() int {
+	if n := int(poolWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// SetPointProgress installs a callback invoked (serialized) after each
+// sweep point completes, with the sweep's name and completed/total point
+// counts. The CLI uses it for -progress; nil uninstalls.
+func SetPointProgress(fn func(sweep string, done, total int)) {
+	pointProgress.Store(fn)
+}
+
+// runPoints executes n independent sweep points through the parallel
+// engine: each point runs under its own telemetry hub mirroring the
+// ambient one, and the hubs merge back in point order, so the sweep's
+// exported metrics and samples are byte-identical to a sequential run.
+// point(i) must confine its writes to index i of the sweep's result slots.
+// A hub carrying a tracer forces sequential execution (traces are not
+// mergeable).
+func runPoints(sweep string, n int, point func(i int) error) error {
+	hub := telemetry.Hub()
+	workers := Parallelism()
+	if hub.Trace() != nil {
+		workers = 1
+	}
+	pts := make([]parallel.Point, n)
+	for i := range pts {
+		i := i
+		pts[i] = parallel.Point{
+			Name: fmt.Sprintf("%s[%d]", sweep, i),
+			Run:  func() error { return point(i) },
+		}
+	}
+	var onDone func(done, total int, name string, err error)
+	if v := pointProgress.Load(); v != nil {
+		if fn, ok := v.(func(string, int, int)); ok && fn != nil {
+			onDone = func(done, total int, _ string, _ error) { fn(sweep, done, total) }
+		}
+	}
+	return parallel.Run(pts, parallel.Options{Workers: workers, Hub: hub, OnDone: onDone})
+}

@@ -25,29 +25,40 @@ type SaturationRow struct {
 func Saturation() (*stats.Table, []SaturationRow, error) {
 	cc := DefaultConvergenceConfig()
 	ps := apps.PSConfig{Workers: 12, ModelSize: 64, Width: 4}
-	netCfg := netsim.DefaultConfig(cc.Ports)
-	netCfg.ServiceRatePPS = 5e5 // 2 µs per traversal: the switch is the bottleneck
 
-	asw, err := apps.NewParamServerADCP(adcpConfig(cc), ps)
-	if err != nil {
-		return nil, nil, err
+	// The two architecture runs are independent sweep points; each builds
+	// its own network config (Config holds per-run pointers) and switch.
+	bottleneck := func() netsim.Config {
+		netCfg := netsim.DefaultConfig(cc.Ports)
+		netCfg.ServiceRatePPS = 5e5 // 2 µs per traversal: the switch is the bottleneck
+		return netCfg
 	}
-	ares, err := apps.RunParamServer(asw, netCfg, ps, 41, 7)
-	if err != nil {
+	rows := make([]SaturationRow, 2)
+	if err := runPoints("saturation", len(rows), func(i int) error {
+		if i == 0 {
+			asw, err := apps.NewParamServerADCP(adcpConfig(cc), ps)
+			if err != nil {
+				return err
+			}
+			ares, err := apps.RunParamServer(asw, bottleneck(), ps, 41, 7)
+			if err != nil {
+				return err
+			}
+			rows[i] = SaturationRow{Arch: "ADCP", Traversals: asw.IngressTraversals(), Recirc: 0, CCT: ares.CCT}
+			return nil
+		}
+		rsw, err := apps.NewParamServerRMT(rmtConfig(cc), ps)
+		if err != nil {
+			return err
+		}
+		rres, err := apps.RunParamServer(rsw, bottleneck(), ps, 41, 7)
+		if err != nil {
+			return err
+		}
+		rows[i] = SaturationRow{Arch: "RMT", Traversals: rsw.IngressTraversals(), Recirc: rsw.RecirculationTraversals(), CCT: rres.CCT}
+		return nil
+	}); err != nil {
 		return nil, nil, err
-	}
-	rsw, err := apps.NewParamServerRMT(rmtConfig(cc), ps)
-	if err != nil {
-		return nil, nil, err
-	}
-	rres, err := apps.RunParamServer(rsw, netCfg, ps, 41, 7)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	rows := []SaturationRow{
-		{Arch: "ADCP", Traversals: asw.IngressTraversals(), Recirc: 0, CCT: ares.CCT},
-		{Arch: "RMT", Traversals: rsw.IngressTraversals(), Recirc: rsw.RecirculationTraversals(), CCT: rres.CCT},
 	}
 	t := stats.NewTable(
 		"saturation: parameter aggregation with the switch as the bottleneck (2 µs/traversal)",

@@ -6,15 +6,16 @@ import (
 	"repro/internal/telemetry"
 )
 
-// record registers one headline number of an experiment on the process-wide
-// telemetry hub; a no-op when no hub is installed (tests and library use).
-// Names follow exp.<experiment>.<metric>; labels carry the sweep
+// record registers one headline number of an experiment on the ambient
+// telemetry hub (goroutine-local if a sweep worker installed one, else the
+// process-wide hub); a no-op when no hub is installed (tests and library
+// use). Names follow exp.<experiment>.<metric>; labels carry the sweep
 // coordinates, so every point of a sweep exports as its own series. Values
 // are Set (not accumulated): re-running an experiment in one process is
 // idempotent, which keeps `adcpsim -exp all` output byte-identical no
 // matter how the experiment list is composed.
 func record(name string, v float64, labels ...telemetry.Label) {
-	if reg := telemetry.Default.Reg(); reg != nil {
+	if reg := telemetry.Hub().Reg(); reg != nil {
 		reg.Set("exp."+name, v, labels...)
 	}
 }

@@ -83,7 +83,7 @@ type TraversalCounter interface {
 
 // Instrumentable is implemented by switch models that can attach themselves
 // to a telemetry sink (both rmt.Switch and core.Switch do). New detects it
-// and wires the switch to telemetry.Default, so harnesses that construct
+// and wires the switch to the ambient telemetry hub, so harnesses that construct
 // networks deep inside application code (internal/apps) are observed by
 // setting one process-wide hub.
 type Instrumentable interface {
@@ -175,8 +175,9 @@ type Network struct {
 	swCrashed bool
 	txSeq     uint64
 
-	// Tracing state; tr stays nil unless telemetry.Default carries a tracer
-	// at construction time, so the untraced hot path pays one nil check.
+	// Tracing state; tr stays nil unless the ambient telemetry hub carries
+	// a tracer at construction time, so the untraced hot path pays one nil
+	// check.
 	tr                  *telemetry.Tracer
 	detail              bool
 	pid                 int
@@ -229,19 +230,19 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 			}
 		})
 	}
-	if tel := telemetry.Default; tel.Enabled() {
+	if tel := telemetry.Hub(); tel.Enabled() {
 		n.instrument(tel)
 	}
 	return n, nil
 }
 
 // instrument wires the network (and, via Instrumentable, its switch) to the
-// process-wide telemetry hub.
+// ambient telemetry hub.
 func (n *Network) instrument(tel *telemetry.Telemetry) {
 	reg, tr := tel.Reg(), tel.Trace()
 	inst := "0"
 	if reg != nil {
-		inst = reg.NextInstance("net")
+		inst = reg.InstanceLabel("net").Value
 		ls := []telemetry.Label{telemetry.L("net", inst)}
 		reg.ObserveFunc("net.injected_pkts", func() float64 { return float64(n.injected) }, ls...)
 		reg.ObserveFunc("net.delivered_pkts", func() float64 { return float64(n.delivered) }, ls...)

@@ -1,13 +1,61 @@
 package netsim
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
+
+// soakSeed runs one chaos seed and returns an error describing any
+// violated property, so seeds can fan out across the parallel pool.
+func soakSeed(seed int) error {
+	const (
+		hosts   = 8
+		pkts    = 64
+		horizon = 200 * sim.Microsecond
+	)
+	plan := faults.RandomPlan(sim.NewRNG(uint64(seed)+0x50A5), hosts, horizon)
+	if err := plan.Validate(); err != nil {
+		return fmt.Errorf("generated plan invalid: %v", err)
+	}
+	// A generous budget: chaos plans can stack a crash window on a
+	// lossy link, and the soak asserts eventual completion, not speed.
+	rec := faults.DefaultRecovery()
+	rec.MaxRetries = 64
+	cfg := faultyConfig(hosts, plan, &rec)
+	if plan.SwitchCrashAt > 0 {
+		// A quarter of random plans kill the switch; those runs get
+		// a warm standby so completion survives the failover.
+		cfg.Standby = echoSwitch{}
+	}
+	n, err := New(cfg, echoSwitch{})
+	if err != nil {
+		return err
+	}
+	n.Tracker().Expect(1, pkts)
+	for i := 0; i < pkts; i++ {
+		src := i % hosts
+		n.SendAt(src, rawPkt(src, (i+1)%hosts, 1), sim.Time(i)*sim.Microsecond)
+	}
+	n.Run()
+	if errs := n.Errors(); len(errs) != 0 {
+		return fmt.Errorf("plan %+v\nerrors: %v\nledger: %+v", plan, errs, n.Ledger())
+	}
+	if !n.Tracker().Done(1) {
+		return fmt.Errorf("coflow incomplete\nplan %+v\nstatus %+v\nledger %+v",
+			plan, n.Tracker().Status(1), n.Ledger())
+	}
+	if err := n.CheckConservation(); err != nil {
+		return fmt.Errorf("conservation: %v", err)
+	}
+	return nil
+}
 
 // TestChaosSoak throws randomly-generated fault plans (loss, corruption,
 // link-down windows, host crashes, switch stalls) at the network with
@@ -15,8 +63,10 @@ import (
 // guarantees: the conservation ledger balances (auto-asserted by Run) and
 // the coflow completes despite everything the plan did to it.
 //
-// Short mode runs a handful of seeds; set SOAK_SEEDS to widen the sweep
-// (`make soak` runs 200).
+// Seeds fan out across the parallel worker pool — each seed builds its own
+// network, so seeds share nothing. Short mode runs a handful of seeds; set
+// SOAK_SEEDS to widen the sweep (`make soak` runs 200) and PARALLEL to set
+// the pool width (default: NumCPU).
 func TestChaosSoak(t *testing.T) {
 	seeds := 8
 	if !testing.Short() {
@@ -29,49 +79,24 @@ func TestChaosSoak(t *testing.T) {
 		}
 		seeds = v
 	}
+	workers := runtime.NumCPU()
+	if s := os.Getenv("PARALLEL"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad PARALLEL %q", s)
+		}
+		workers = v
+	}
 
-	const (
-		hosts   = 8
-		pkts    = 64
-		horizon = 200 * sim.Microsecond
-	)
+	pts := make([]parallel.Point, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
-		t.Run(strconv.Itoa(seed), func(t *testing.T) {
-			plan := faults.RandomPlan(sim.NewRNG(uint64(seed)+0x50A5), hosts, horizon)
-			if err := plan.Validate(); err != nil {
-				t.Fatalf("generated plan invalid: %v", err)
-			}
-			// A generous budget: chaos plans can stack a crash window on a
-			// lossy link, and the soak asserts eventual completion, not speed.
-			rec := faults.DefaultRecovery()
-			rec.MaxRetries = 64
-			cfg := faultyConfig(hosts, plan, &rec)
-			if plan.SwitchCrashAt > 0 {
-				// A quarter of random plans kill the switch; those runs get
-				// a warm standby so completion survives the failover.
-				cfg.Standby = echoSwitch{}
-			}
-			n, err := New(cfg, echoSwitch{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			n.Tracker().Expect(1, pkts)
-			for i := 0; i < pkts; i++ {
-				src := i % hosts
-				n.SendAt(src, rawPkt(src, (i+1)%hosts, 1), sim.Time(i)*sim.Microsecond)
-			}
-			n.Run()
-			if errs := n.Errors(); len(errs) != 0 {
-				t.Fatalf("plan %+v\nerrors: %v\nledger: %+v", plan, errs, n.Ledger())
-			}
-			if !n.Tracker().Done(1) {
-				t.Fatalf("coflow incomplete\nplan %+v\nstatus %+v\nledger %+v",
-					plan, n.Tracker().Status(1), n.Ledger())
-			}
-			if err := n.CheckConservation(); err != nil {
-				t.Fatalf("conservation: %v", err)
-			}
-		})
+		pts[seed] = parallel.Point{
+			Name: fmt.Sprintf("seed %d", seed),
+			Run:  func() error { return soakSeed(seed) },
+		}
+	}
+	if err := parallel.Run(pts, parallel.Options{Workers: workers}); err != nil {
+		t.Fatal(err)
 	}
 }

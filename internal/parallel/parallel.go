@@ -1,0 +1,199 @@
+// Package parallel is the sweep-execution engine: it fans independent
+// experiment points (seed × configuration cells of a sweep) across a
+// bounded worker pool and merges their telemetry deterministically, so a
+// sweep's output is byte-identical no matter how many workers ran it.
+//
+// The design follows the same argument the repository's source paper makes
+// for stateful in-network computing — and that State-Compute Replication
+// (Xu et al.) makes for switch state: stateful work parallelizes cleanly
+// when each replica sees its full input and results merge in a fixed
+// order. A sweep point is exactly such a unit: it owns its seed, builds
+// its own network and switch, and reports into its own telemetry hub. The
+// pool schedules points onto workers in any order; determinism is restored
+// at the merge, which folds point-local hubs into the destination hub in
+// point order (telemetry.Merge renumbers instance labels and sampler run
+// ordinals so the merged export equals a sequential run's, byte for byte).
+//
+// Points run under point-local hubs at every pool width — Workers == 1
+// merely executes them in order on the caller's goroutine — so one worker
+// and eight produce the same bytes by the same mechanism, which the golden
+// tests pin. The only exception is a destination hub carrying a Tracer:
+// traces are not mergeable, so points then run directly under the ambient
+// hub, in order, exactly as a pre-pool harness would.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Point is one independent unit of a sweep: a closure that runs a full
+// experiment point and records its results into declared slots (row
+// slices indexed by point) and the ambient telemetry hub. A Point must not
+// share mutable state with other points — each builds its own simulator
+// objects — and must be deterministic given its declared seed.
+type Point struct {
+	// Name identifies the point in errors and progress ("failover[3]").
+	Name string
+	// Run executes the point. Inside Run the ambient hub (telemetry.Hub)
+	// is the point-local hub when the pool is parallel, or the caller's
+	// hub when sequential; code that records through the hub needs no
+	// changes either way.
+	Run func() error
+}
+
+// Options configure a Run.
+type Options struct {
+	// Workers bounds the pool; ≤ 0 selects runtime.NumCPU(). With one
+	// worker, points run in order on the caller's goroutine — still under
+	// point-local hubs merged back in order, so output bytes are
+	// independent of the width. A destination hub carrying a Tracer runs
+	// the points directly under the ambient hub instead: traces are not
+	// mergeable.
+	Workers int
+	// Hub is the merge destination: each parallel point runs under a
+	// point-local mirror of it (fresh registry, fresh sampler with the
+	// same interval and capacity) and the mirrors fold back into Hub in
+	// point order after all points finish. Nil runs points with telemetry
+	// masked off entirely.
+	Hub *telemetry.Telemetry
+	// OnDone, when set, is called after each point completes, serialized
+	// across workers: done counts completed points, total is len(points).
+	OnDone func(done, total int, name string, err error)
+}
+
+// Run executes every point and returns the points' errors joined in point
+// order (nil when all succeeded). A panicking point is captured as that
+// point's error — one exploding point neither takes down the pool nor the
+// process. All points always run; callers that need fail-fast semantics
+// check the returned error afterward, which keeps the completed/merged
+// telemetry deterministic even for partially failing sweeps.
+func Run(points []Point, opt Options) error {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if opt.Hub.Trace() != nil {
+		// Trace events cannot be merged across hubs, so run the points
+		// directly under the ambient hub, in order.
+		for i := range points {
+			errs[i] = runPoint(points[i])
+			if opt.OnDone != nil {
+				opt.OnDone(i+1, n, points[i].Name, errs[i])
+			}
+		}
+		return join(points, errs)
+	}
+
+	hubs := make([]*telemetry.Telemetry, n)
+	if workers == 1 {
+		for i := range points {
+			local := mirror(opt.Hub)
+			hubs[i] = local
+			telemetry.WithHub(local, func() {
+				errs[i] = runPoint(points[i])
+			})
+			if opt.OnDone != nil {
+				opt.OnDone(i+1, n, points[i].Name, errs[i])
+			}
+		}
+	} else {
+		var next, done atomic.Int64
+		var progressMu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					local := mirror(opt.Hub)
+					hubs[i] = local
+					telemetry.WithHub(local, func() {
+						errs[i] = runPoint(points[i])
+					})
+					if opt.OnDone != nil {
+						progressMu.Lock()
+						opt.OnDone(int(done.Add(1)), n, points[i].Name, errs[i])
+						progressMu.Unlock()
+					} else {
+						done.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: point order, regardless of completion order.
+	if opt.Hub != nil {
+		for i := range hubs {
+			telemetry.Merge(opt.Hub, hubs[i])
+		}
+	}
+	return join(points, errs)
+}
+
+// mirror builds a point-local hub matching the destination's shape: a
+// fresh registry when the destination records metrics, a fresh sampler
+// with the destination's interval and capacity when it samples. Tracers
+// are never mirrored (Run forces one worker instead).
+func mirror(dst *telemetry.Telemetry) *telemetry.Telemetry {
+	if dst == nil {
+		return nil
+	}
+	local := &telemetry.Telemetry{Detail: dst.Detail}
+	if dst.Metrics != nil {
+		local.Metrics = telemetry.NewRegistry()
+		if dst.Sampler != nil {
+			local.Sampler = telemetry.NewSampler(local.Metrics, dst.Sampler.Interval(), dst.Sampler.Capacity())
+		}
+	}
+	return local
+}
+
+// runPoint executes one point, converting a panic into an error carrying
+// the worker stack, so a crashing sweep point surfaces as an experiment
+// failure instead of killing the process.
+func runPoint(p Point) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return p.Run()
+}
+
+// join wraps each point's error with its index and name and joins them in
+// point order.
+func join(points []Point, errs []error) error {
+	var out []error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		name := points[i].Name
+		if name == "" {
+			name = fmt.Sprintf("point %d", i)
+		}
+		out = append(out, fmt.Errorf("%s: %w", name, err))
+	}
+	return errors.Join(out...)
+}

@@ -31,7 +31,7 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	reg, tr := tel.Reg(), tel.Trace()
 	inst := "0"
 	if reg != nil {
-		inst = reg.NextInstance("rmt")
+		inst = reg.InstanceLabel("instance").Value
 	}
 	ls := []telemetry.Label{telemetry.L("arch", "rmt"), telemetry.L("instance", inst)}
 	var occ *telemetry.Gauge

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// histEqual compares every exported statistic of two histograms,
+// including the quantile ladder (bucket contents).
+func histEqual(a, b *LogHist) bool {
+	if a.Count() != b.Count() || a.Sum() != b.Sum() ||
+		a.Min() != b.Min() || a.Max() != b.Max() ||
+		a.Buckets() != b.Buckets() || a.Stddev() != b.Stddev() {
+		return false
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogHist.Merge must be associative and order-insensitive up to every
+// exported statistic: the parallel sweep engine merges point-local
+// histograms in point order, and the result must not depend on how the
+// observations were partitioned. Property-tested over seeded random
+// partitions of random observation streams.
+func TestLogHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xAB5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		obs := make([]float64, n)
+		for i := range obs {
+			// Integer-valued observations across magnitudes and signs: their
+			// float sums are exact, so associativity can be asserted bit-for-
+			// bit. (The sweep engine never re-partitions raw observations —
+			// it merges whole per-point histograms in a fixed order — so
+			// float-rounding order sensitivity is out of scope by design.)
+			obs[i] = float64(rng.Intn(1<<(1+rng.Intn(20))) - 500)
+		}
+
+		// Reference: everything observed into one histogram.
+		var ref LogHist
+		for _, v := range obs {
+			ref.Observe(v)
+		}
+
+		// Partition into k parts, merge (a⊕b)⊕c… and a⊕(b⊕c…).
+		k := 2 + rng.Intn(5)
+		parts := make([]*LogHist, k)
+		for i := range parts {
+			parts[i] = &LogHist{}
+		}
+		for i, v := range obs {
+			parts[i%k].Observe(v)
+		}
+
+		var left LogHist
+		for _, p := range parts {
+			left.Merge(p)
+		}
+		var rightTail LogHist
+		for _, p := range parts[1:] {
+			rightTail.Merge(p)
+		}
+		right := &LogHist{}
+		right.Merge(parts[0])
+		right.Merge(&rightTail)
+
+		if !histEqual(&left, &ref) {
+			t.Fatalf("trial %d: left-fold merge diverged from direct observation (n=%d, k=%d)", trial, n, k)
+		}
+		if !histEqual(right, &ref) {
+			t.Fatalf("trial %d: right-fold merge diverged from direct observation (n=%d, k=%d)", trial, n, k)
+		}
+	}
+}
+
+func TestLogHistMergeEmpty(t *testing.T) {
+	var a, b LogHist
+	a.Observe(3)
+	a.Merge(&b) // empty source: no-op
+	if a.Count() != 1 || a.Sum() != 3 {
+		t.Errorf("merge with empty changed stats: count=%d sum=%g", a.Count(), a.Sum())
+	}
+	b.Merge(&a) // empty destination adopts source
+	if !histEqual(&a, &b) {
+		t.Error("empty destination did not adopt the source histogram")
+	}
+	a.Merge(nil)
+}
+
+func TestGaugeMerge(t *testing.T) {
+	var dst, src Gauge
+	dst.Set(10)
+	dst.Set(4) // peak 10, value 4
+	src.Set(7)
+	src.Set(2) // peak 7, value 2
+	dst.Merge(&src)
+	if dst.Value() != 2 {
+		t.Errorf("value = %d, want source's newest 2", dst.Value())
+	}
+	if dst.Peak() != 10 {
+		t.Errorf("peak = %d, want max 10", dst.Peak())
+	}
+
+	// A source never Set must not clobber the destination.
+	var untouched Gauge
+	dst.Merge(&untouched)
+	if dst.Value() != 2 || dst.Peak() != 10 {
+		t.Errorf("unset source changed gauge: value=%d peak=%d", dst.Value(), dst.Peak())
+	}
+	dst.Merge(nil)
+
+	// Higher source peak wins.
+	var spiky Gauge
+	spiky.Set(99)
+	spiky.Set(0)
+	dst.Merge(&spiky)
+	if dst.Peak() != 99 || dst.Value() != 0 {
+		t.Errorf("after spiky merge: value=%d peak=%d, want 0/99", dst.Value(), dst.Peak())
+	}
+}
+
+func TestTableMerge(t *testing.T) {
+	mk := func(rows ...int) *Table {
+		t := NewTable("sweep", "a", "b")
+		for _, r := range rows {
+			t.AddRow(fmt.Sprintf("r%d", r), fmt.Sprintf("v%d", r))
+		}
+		return t
+	}
+	ref := mk(1, 2, 3, 4)
+	got := mk(1)
+	got.Merge(mk(2, 3))
+	got.Merge(mk()) // empty fragment
+	got.Merge(nil)  // nil fragment
+	got.Merge(mk(4))
+	if got.String() != ref.String() {
+		t.Errorf("merged table:\n%s\nwant:\n%s", got.String(), ref.String())
+	}
+}
+
+func TestTableMergeHeaderMismatchPanics(t *testing.T) {
+	a := NewTable("x", "col1", "col2")
+	b := NewTable("x", "col1", "OTHER")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging tables with different headers did not panic")
+		}
+	}()
+	a.Merge(b)
+}

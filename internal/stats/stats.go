@@ -52,6 +52,20 @@ func (g *Gauge) Value() int64 { return g.v }
 // negative. A gauge that was never set reports 0.
 func (g *Gauge) Peak() int64 { return g.peak }
 
+// Merge folds o into g: the peak becomes the maximum of both peaks, and
+// the value becomes o's — merge order is observation order, so the last
+// merged gauge is the most recent writer. A never-set o leaves g alone.
+func (g *Gauge) Merge(o *Gauge) {
+	if o == nil || !o.peakSet {
+		return
+	}
+	g.v = o.v
+	if !g.peakSet || o.peak > g.peak {
+		g.peak = o.peak
+	}
+	g.peakSet = true
+}
+
 // Histogram accumulates observations and reports order statistics.
 // The zero value is ready to use.
 type Histogram struct {
@@ -179,6 +193,28 @@ func (t *Table) AddRow(cells ...string) {
 	row := make([]string, len(t.headers))
 	copy(row, cells)
 	t.rows = append(t.rows, row)
+}
+
+// Merge appends o's rows to t in order. Both tables must share the same
+// header set; a mismatch panics, like AddRow, because merging fragments
+// with different shapes is always a caller bug. The parallel sweep engine
+// uses this to reassemble per-point table fragments in deterministic
+// sweep-point order.
+func (t *Table) Merge(o *Table) {
+	if o == nil {
+		return
+	}
+	if len(o.headers) != len(t.headers) {
+		panic(fmt.Sprintf("stats: Merge of %d-column table into %d-column table (%q into %q)",
+			len(o.headers), len(t.headers), o.title, t.title))
+	}
+	for i := range t.headers {
+		if t.headers[i] != o.headers[i] {
+			panic(fmt.Sprintf("stats: Merge header mismatch at column %d: %q vs %q",
+				i, o.headers[i], t.headers[i]))
+		}
+	}
+	t.rows = append(t.rows, o.rows...)
 }
 
 // AddRowf appends a row formatting each value with %v, floats with 4

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// regOp is one observation applied to a registry — merge tests apply the
+// same ops to point-local registries and to one shared reference registry
+// and require identical exported bytes.
+type regOp func(r *Registry)
+
+func applyAll(r *Registry, ops []regOp) {
+	for _, op := range ops {
+		op(r)
+	}
+}
+
+func regJSON(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The registry merge contract: merging point-local registries in point
+// order produces byte-for-byte the registry that observing the union of
+// operations sequentially would have — including overlapping series
+// (counters accumulate, gauges keep the newest value and the max peak,
+// histograms union their buckets, headline values keep the newest Set).
+func TestRegistryMergeEqualsSequentialUnion(t *testing.T) {
+	opsA := []regOp{
+		func(r *Registry) { r.Counter("pkts", L("arch", "rmt")).Add(3) },
+		func(r *Registry) { g := r.Gauge("depth"); g.Set(9); g.Set(2) },
+		func(r *Registry) { h := r.Histogram("lat"); h.Observe(10); h.Observe(20) },
+		func(r *Registry) { r.Set("exp.cct", 100, L("arch", "rmt")) },
+		func(r *Registry) { r.Counter("only_a").Add(1) },
+	}
+	opsB := []regOp{
+		func(r *Registry) { r.Counter("pkts", L("arch", "rmt")).Add(4) },
+		func(r *Registry) { g := r.Gauge("depth"); g.Set(7); g.Set(1) },
+		func(r *Registry) { h := r.Histogram("lat"); h.Observe(15); h.Observe(200) },
+		func(r *Registry) { r.Set("exp.cct", 140, L("arch", "rmt")) },
+		func(r *Registry) { r.Histogram("only_b").Observe(5) },
+	}
+
+	ref := NewRegistry()
+	applyAll(ref, opsA)
+	applyAll(ref, opsB)
+
+	a, b := NewRegistry(), NewRegistry()
+	applyAll(a, opsA)
+	applyAll(b, opsB)
+	a.Merge(b)
+
+	if got, want := regJSON(t, a), regJSON(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("merged registry differs from sequential union:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Overlapping gauges: the merged value is the source's only when the
+// source ever Set it; the peak is the max of both.
+func TestRegistryMergeGaugeUntouchedSource(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("depth").Set(5)
+	b.Gauge("depth") // registered but never Set
+	a.Merge(b)
+	ref := NewRegistry()
+	ref.Gauge("depth").Set(5)
+	ref.Gauge("depth")
+	if got, want := regJSON(t, a), regJSON(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("unset source gauge clobbered the destination:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Instance-label renumbering: each point-local registry numbers its
+// instances from zero; merging in point order must reproduce the exact
+// numbering one shared registry would have handed out — across different
+// instance-label keys, since the ordinal sequence is registry-wide.
+func TestRegistryMergeRenumbersInstances(t *testing.T) {
+	point := func(r *Registry, base uint64) {
+		i1 := r.InstanceLabel("instance")
+		r.Counter("sw.pkts", L("arch", "rmt"), i1).Add(base)
+		n := r.InstanceLabel("net")
+		r.Counter("net.pkts", n).Add(base + 1)
+	}
+
+	ref := NewRegistry()
+	point(ref, 10)
+	point(ref, 20)
+	point(ref, 30)
+
+	dst := NewRegistry()
+	point(dst, 10)
+	for _, base := range []uint64{20, 30} {
+		local := NewRegistry()
+		point(local, base)
+		dst.Merge(local)
+	}
+
+	if got, want := regJSON(t, dst), regJSON(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("instance renumbering diverged from sequential numbering:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Func metrics absent from the destination are adopted live: the closure
+// keeps being evaluated at snapshot time after the merge.
+func TestRegistryMergeAdoptsObserveFunc(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	n := 0.0
+	src.ObserveFunc("live", func() float64 { n++; return n })
+	dst.Merge(src)
+	if got := dst.Snapshot().Metrics[0].Value; got != 1 {
+		t.Errorf("first post-merge snapshot = %v, want 1", got)
+	}
+	if got := dst.Snapshot().Metrics[0].Value; got != 2 {
+		t.Errorf("second post-merge snapshot = %v, want 2 (closure not live)", got)
+	}
+}
+
+func TestRegistryMergeKindMismatchPanics(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("x")
+	src.Gauge("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched kinds did not panic")
+		}
+	}()
+	dst.Merge(src)
+}
+
+// Sampler merge: run ordinals shift past the destination's runs and
+// instance labels shift by the registry merge's offset, so point-local
+// samplers folded in point order yield one coherent export. (A shared
+// sequential sampler is not the reference here: it would keep sampling
+// run 0's series during run 1 — exactly the cross-point coupling the
+// per-point hubs remove.)
+func TestSamplerMergeOffsetsRunsAndInstances(t *testing.T) {
+	buildPoint := func(add uint64) *Telemetry {
+		reg := NewRegistry()
+		samp := NewSampler(reg, sim.Microsecond, 0)
+		reg.Counter("pkts", reg.InstanceLabel("net")).Add(add)
+		samp.Attach(sim.NewEngine()) // run 0, baseline sample at t=0
+		return &Telemetry{Metrics: reg, Sampler: samp}
+	}
+	dst := buildPoint(5)
+	Merge(dst, buildPoint(7))
+
+	if got := dst.Sampler.Runs(); got != 2 {
+		t.Errorf("merged Runs() = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := dst.Sampler.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"name,labels,run,t_ps,value",
+		"pkts,net=0,0,0,5",
+		"pkts,net=1,1,0,7",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("merged CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// Merging through the hub-level Merge must apply the SAME instance offset
+// to registry and sampler — a skew between the two would attach samples to
+// the wrong switch.
+func TestMergeKeepsRegistryAndSamplerInstancesAligned(t *testing.T) {
+	buildPoint := func(add uint64) *Telemetry {
+		reg := NewRegistry()
+		samp := NewSampler(reg, sim.Microsecond, 0)
+		reg.Counter("pkts", reg.InstanceLabel("net")).Add(add)
+		samp.Attach(sim.NewEngine())
+		return &Telemetry{Metrics: reg, Sampler: samp}
+	}
+	dst := buildPoint(1)
+	for _, add := range []uint64{2, 3} {
+		Merge(dst, buildPoint(add))
+	}
+	// Registry series and sampled series must carry the same instance sets.
+	regInsts := map[string]bool{}
+	for _, m := range dst.Metrics.Snapshot().Metrics {
+		regInsts[m.Labels["net"]] = true
+	}
+	sampInsts := map[string]bool{}
+	for _, sd := range dst.Sampler.Series() {
+		sampInsts[sd.Labels["net"]] = true
+	}
+	for inst := range regInsts {
+		if !sampInsts[inst] {
+			t.Errorf("instance %q present in registry but not sampler", inst)
+		}
+	}
+	if len(regInsts) != 3 || len(sampInsts) != 3 {
+		t.Errorf("instances: registry %v, sampler %v, want 3 each", regInsts, sampInsts)
+	}
+}
+
+func TestMergeNilSafe(t *testing.T) {
+	Merge(nil, &Telemetry{})
+	Merge(&Telemetry{}, nil)
+	Merge(&Telemetry{Metrics: NewRegistry()}, &Telemetry{}) // no src sinks
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -106,12 +107,16 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
-	seq     map[string]int // per-prefix instance counters
+	// instSeq numbers InstanceLabel allocations; instKeys remembers which
+	// label keys carry those ordinals, so Merge knows which label values
+	// to renumber when folding a point-local registry into a shared one.
+	instSeq  int
+	instKeys map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: make(map[string]*metric), seq: make(map[string]int)}
+	return &Registry{metrics: make(map[string]*metric), instKeys: make(map[string]bool)}
 }
 
 // key canonicalizes (name, labels); labels are sorted so call-site order
@@ -205,15 +210,115 @@ func (r *Registry) ObserveFunc(name string, fn func() float64, labels ...Label) 
 	r.mu.Unlock()
 }
 
-// NextInstance returns a fresh instance-label value for prefix ("0", "1",
-// ...). Construction order is deterministic in this single-goroutine
-// simulator, so instance labels are stable across runs.
-func (r *Registry) NextInstance(prefix string) string {
+// InstanceLabel allocates a fresh instance label under key: its value is
+// the next registry-wide ordinal ("0", "1", ...), shared across all
+// instance keys so values are unique within one registry. Construction
+// order is deterministic in this single-goroutine simulator, so instance
+// labels are stable across runs — and because the registry remembers which
+// keys carry instance ordinals, Merge can renumber them when point-local
+// registries fold into a shared one, reproducing exactly the numbering a
+// sequential run would have allocated.
+func (r *Registry) InstanceLabel(key string) Label {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := r.seq[prefix]
-	r.seq[prefix]++
-	return fmt.Sprintf("%d", n)
+	r.instKeys[key] = true
+	v := strconv.Itoa(r.instSeq)
+	r.instSeq++
+	return Label{Key: key, Value: v}
+}
+
+// renumberLabels returns labels with every instance-key value shifted by
+// offset. Non-numeric values (impossible for InstanceLabel allocations)
+// pass through untouched.
+func renumberLabels(labels []Label, instKeys map[string]bool, offset int) []Label {
+	if offset == 0 || len(instKeys) == 0 {
+		return labels
+	}
+	out := append([]Label(nil), labels...)
+	for i, l := range out {
+		if !instKeys[l.Key] {
+			continue
+		}
+		if v, err := strconv.Atoi(l.Value); err == nil {
+			out[i].Value = strconv.Itoa(v + offset)
+		}
+	}
+	return out
+}
+
+// Merge folds src into r. Counters add, gauges keep src's value and the
+// maximum peak, histograms merge bucket-by-bucket (stats.LogHist), scalar
+// values and func metrics are overwritten by src (newest wins), and series
+// absent from r are adopted wholesale — their live ObserveFunc closures
+// included. Instance labels allocated by src's InstanceLabel are
+// renumbered to continue r's sequence, so merging point-local registries
+// in sweep-point order reproduces the numbering — and therefore the
+// byte-exact snapshot — of a sequential run. src must be quiescent (its
+// run complete); merging a series registered under a different kind in r
+// panics, as in lookup.
+func (r *Registry) Merge(src *Registry) {
+	r.mergeFrom(src)
+}
+
+// mergeFrom implements Merge and reports the instance renumbering it
+// applied — the sampler merge must relabel with exactly the same shift.
+func (r *Registry) mergeFrom(src *Registry) (offset int, instKeys map[string]bool) {
+	if src == nil || src == r {
+		return 0, nil
+	}
+	src.mu.Lock()
+	keys := make([]string, 0, len(src.metrics))
+	for k := range src.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ms := make([]*metric, len(keys))
+	for i, k := range keys {
+		ms[i] = src.metrics[k]
+	}
+	instKeys = make(map[string]bool, len(src.instKeys))
+	for k := range src.instKeys {
+		instKeys[k] = true
+	}
+	srcSeq := src.instSeq
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	offset = r.instSeq
+	r.instSeq += srcSeq
+	for k := range instKeys {
+		r.instKeys[k] = true
+	}
+	for _, m := range ms {
+		labels := renumberLabels(m.labels, instKeys, offset)
+		k, ls := key(m.name, labels)
+		dst, ok := r.metrics[k]
+		if !ok {
+			// Adopt the live metric object: ObserveFunc closures and any
+			// sampler read closures built over it stay valid.
+			m.labels = ls
+			r.metrics[k] = m
+			continue
+		}
+		if dst.kind != m.kind {
+			panic(fmt.Sprintf("telemetry: merge of metric %q registered as %s, merged as %s",
+				m.name, dst.kind, m.kind))
+		}
+		switch dst.kind {
+		case KindCounter:
+			dst.counter.Add(m.counter.Value())
+		case KindGauge:
+			dst.gauge.g.Merge(&m.gauge.g)
+		case KindHistogram:
+			dst.hist.h.Merge(&m.hist.h)
+		case KindValue:
+			dst.value = m.value
+		case KindFunc:
+			dst.fn = m.fn
+		}
+	}
+	return offset, instKeys
 }
 
 // HistogramSnapshot summarizes a histogram at snapshot time.

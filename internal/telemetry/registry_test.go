@@ -148,12 +148,15 @@ func TestRegistryDeterministicJSON(t *testing.T) {
 	}
 }
 
-func TestRegistryNextInstance(t *testing.T) {
+func TestRegistryInstanceLabel(t *testing.T) {
 	r := NewRegistry()
-	if a, b := r.NextInstance("rmt"), r.NextInstance("rmt"); a != "0" || b != "1" {
-		t.Errorf("instances = %s, %s", a, b)
+	a, b := r.InstanceLabel("instance"), r.InstanceLabel("instance")
+	if a.Value != "0" || b.Value != "1" || a.Key != "instance" {
+		t.Errorf("instances = %+v, %+v", a, b)
 	}
-	if c := r.NextInstance("net"); c != "0" {
-		t.Errorf("independent prefix = %s", c)
+	// The ordinal sequence is registry-wide, not per-key, so values are
+	// unique within one registry and Merge can renumber with one offset.
+	if c := r.InstanceLabel("net"); c.Value != "2" {
+		t.Errorf("second key continued at %s, want 2", c.Value)
 	}
 }

@@ -121,6 +121,9 @@ func NewSampler(reg *Registry, interval sim.Time, capacity int) *Sampler {
 // Interval returns the sampling period.
 func (s *Sampler) Interval() sim.Time { return s.interval }
 
+// Capacity returns the per-series ring-buffer bound.
+func (s *Sampler) Capacity() int { return s.capacity }
+
 // Attach registers the sampler on an engine's dispatch hook and records a
 // baseline sample at the engine's current time. Nil-safe, so call sites
 // can attach unconditionally.
@@ -218,6 +221,53 @@ func (s *Sampler) Runs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.runs
+}
+
+// merge folds a quiescent point-local sampler into s: src's run ordinals
+// are shifted past every run s has already recorded, instance-label values
+// are shifted by the same offsets the registry merge applied (instKeys /
+// instOffset from Registry.mergeFrom), and points append oldest-first
+// under s's ring capacity. Merging point samplers in sweep-point order
+// therefore reproduces exactly the run numbering and point sequence of a
+// sequential run over one shared sampler.
+func (s *Sampler) merge(src *Sampler, instKeys map[string]bool, instOffset int) {
+	if s == nil || src == nil || src == s {
+		return
+	}
+	src.mu.Lock()
+	srcKeys := make([]string, 0, len(src.series))
+	for k := range src.series {
+		srcKeys = append(srcKeys, k)
+	}
+	sort.Strings(srcKeys)
+	srcSeries := make([]*sampledSeries, len(srcKeys))
+	for i, k := range srcKeys {
+		srcSeries[i] = src.series[k]
+	}
+	srcRuns, srcLastRun, srcLastT := src.runs, src.lastRun, src.lastT
+	src.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runOffset := s.runs
+	s.runs += srcRuns
+	for _, ser := range srcSeries {
+		labels := renumberLabels(ser.labels, instKeys, instOffset)
+		k, ls := key(ser.name, labels)
+		dst, ok := s.series[k]
+		if !ok {
+			dst = &sampledSeries{name: ser.name, labels: ls, kind: ser.kind, read: ser.read}
+			s.series[k] = dst
+		}
+		for _, p := range ser.ordered() {
+			p.Run += runOffset
+			dst.push(p, s.capacity)
+		}
+		dst.dropped += ser.dropped
+	}
+	if srcRuns > 0 {
+		s.lastRun, s.lastT = srcLastRun+runOffset, srcLastT
+	}
 }
 
 // Series exports every sampled series, sorted by name then labels, each

@@ -14,12 +14,27 @@
 // JSONL and to Chrome trace-event format (viewable in Perfetto or
 // chrome://tracing), timestamped in simulated microseconds.
 //
+// Hubs are scoped two ways. WithDefault installs a process-wide hub — the
+// classic single-harness mode. WithHub installs a hub for the *current
+// goroutine only*, masking the process hub; the parallel sweep engine
+// (internal/parallel) gives every worker its own hub this way so
+// registries, samplers, and histograms never contend, then folds the
+// point-local hubs back into the destination with Merge, in sweep-point
+// order, so the merged export is byte-identical to a sequential run.
+// Components always read the ambient hub through Hub().
+//
 // See docs/OBSERVABILITY.md for metric naming conventions, the trace
 // schema, and a Perfetto how-to.
 package telemetry
 
-// Telemetry bundles the two optional sinks a run may carry. Either field
-// may be nil; a nil *Telemetry disables everything.
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Telemetry bundles the optional sinks a run may carry. Any field may be
+// nil; a nil *Telemetry disables everything.
 type Telemetry struct {
 	// Metrics receives named, labeled values. Nil disables metric export.
 	Metrics *Registry
@@ -34,13 +49,44 @@ type Telemetry struct {
 	Detail bool
 }
 
-// Default is the process-wide optional telemetry sink. It is nil unless a
-// harness (cmd/adcpsim, a test) installs one; components that build their
-// own internal networks (internal/apps, internal/experiments) attach to it
-// at construction time so a single flag can observe a whole run. Harnesses
-// must reset it to nil when their run ends. All models are single-goroutine
-// by design (see internal/sim), so plain assignment is safe.
-var Default *Telemetry
+// procHub is the process-wide hub installed by WithDefault; goHubs maps
+// goroutine id → the hub installed by WithHub on that goroutine. A
+// goroutine-local entry always wins, even when it is nil — that is how the
+// parallel sweep engine masks the process hub from its workers.
+var (
+	procHub atomic.Pointer[Telemetry]
+	goHubs  sync.Map // uint64 (goroutine id) → *Telemetry
+)
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine 123 [running]:"). It costs roughly a microsecond, so
+// it belongs on construction and headline-record paths, never per-packet —
+// instrumented components capture their sinks once, at construction.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Hub returns the ambient telemetry hub: the hub WithHub installed on the
+// current goroutine if there is one (even a nil mask), else the
+// process-wide hub installed by WithDefault, else nil. All accessors on
+// the result are nil-safe.
+func Hub() *Telemetry {
+	if v, ok := goHubs.Load(goid()); ok {
+		t, _ := v.(*Telemetry)
+		return t
+	}
+	return procHub.Load()
+}
 
 // Enabled reports whether t carries at least one sink.
 func (t *Telemetry) Enabled() bool {
@@ -72,14 +118,55 @@ func (t *Telemetry) Samp() *Sampler {
 	return t.Sampler
 }
 
-// WithDefault installs t as the process-wide Default for the duration of
-// fn, restoring the previous value even when fn panics. Harnesses (the
-// CLI, benchmarks, tests) should always use this instead of assigning
-// Default directly: a panicking experiment must not leak a stale global
-// sink into the next run.
+// WithDefault installs t as the process-wide hub for the duration of fn,
+// restoring the previous value even when fn panics. Harnesses (the CLI,
+// benchmarks, tests) should always use this instead of reaching for
+// package state directly: a panicking experiment must not leak a stale
+// sink into the next run. Goroutines spawned while fn runs observe t via
+// Hub() unless they install their own hub with WithHub.
 func WithDefault(t *Telemetry, fn func()) {
-	prev := Default
-	Default = t
-	defer func() { Default = prev }()
+	prev := procHub.Swap(t)
+	defer procHub.Store(prev)
 	fn()
+}
+
+// WithHub installs t as the current goroutine's hub for the duration of
+// fn, restoring the previous scope even when fn panics. Unlike
+// WithDefault it affects only this goroutine, and it masks the process
+// hub completely — including with t == nil, which silences telemetry for
+// fn. The parallel sweep engine runs every worker inside WithHub so
+// concurrent sweep points observe into disjoint registries; Merge then
+// folds them back deterministically.
+func WithHub(t *Telemetry, fn func()) {
+	id := goid()
+	prev, had := goHubs.Load(id)
+	goHubs.Store(id, t)
+	defer func() {
+		if had {
+			goHubs.Store(id, prev)
+		} else {
+			goHubs.Delete(id)
+		}
+	}()
+	fn()
+}
+
+// Merge folds a quiescent point-local hub into dst, renumbering instance
+// labels and sampler run ordinals so that merging point hubs in
+// sweep-point order reproduces, byte for byte, the registry and sampler a
+// sequential run would have produced. src must not be observed into
+// concurrently; dst may be shared. Tracers are not mergeable — parallel
+// harnesses run sequentially when a tracer is attached.
+func Merge(dst, src *Telemetry) {
+	if dst == nil || src == nil {
+		return
+	}
+	var instOffset int
+	var instKeys map[string]bool
+	if dst.Metrics != nil && src.Metrics != nil {
+		instOffset, instKeys = dst.Metrics.mergeFrom(src.Metrics)
+	}
+	if dst.Sampler != nil && src.Sampler != nil {
+		dst.Sampler.merge(src.Sampler, instKeys, instOffset)
+	}
 }

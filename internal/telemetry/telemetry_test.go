@@ -1,19 +1,22 @@
 package telemetry
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestWithDefault(t *testing.T) {
-	if Default != nil {
-		t.Fatal("Default not nil at test start")
+	if Hub() != nil {
+		t.Fatal("ambient hub not nil at test start")
 	}
 	tel := &Telemetry{Metrics: NewRegistry()}
 	WithDefault(tel, func() {
-		if Default != tel {
-			t.Error("Default not installed inside fn")
+		if Hub() != tel {
+			t.Error("hub not installed inside fn")
 		}
 	})
-	if Default != nil {
-		t.Error("Default not restored after fn")
+	if Hub() != nil {
+		t.Error("hub not restored after fn")
 	}
 }
 
@@ -22,12 +25,12 @@ func TestWithDefaultNests(t *testing.T) {
 	inner := &Telemetry{Metrics: NewRegistry()}
 	WithDefault(outer, func() {
 		WithDefault(inner, func() {
-			if Default != inner {
-				t.Error("inner Default not installed")
+			if Hub() != inner {
+				t.Error("inner hub not installed")
 			}
 		})
-		if Default != outer {
-			t.Error("outer Default not restored after inner fn")
+		if Hub() != outer {
+			t.Error("outer hub not restored after inner fn")
 		}
 	})
 }
@@ -42,7 +45,64 @@ func TestWithDefaultRestoresOnPanic(t *testing.T) {
 		}()
 		WithDefault(tel, func() { panic("boom") })
 	}()
-	if Default != nil {
-		t.Error("Default leaked after panicking fn")
+	if Hub() != nil {
+		t.Error("hub leaked after panicking fn")
+	}
+}
+
+func TestWithHubScopedToGoroutine(t *testing.T) {
+	proc := &Telemetry{Metrics: NewRegistry()}
+	local := &Telemetry{Metrics: NewRegistry()}
+	WithDefault(proc, func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			WithHub(local, func() {
+				if Hub() != local {
+					t.Error("goroutine-local hub not visible on its goroutine")
+				}
+			})
+			if Hub() != proc {
+				t.Error("process hub not restored on goroutine after WithHub")
+			}
+		}()
+		wg.Wait()
+		// The caller's goroutine never sees another goroutine's hub.
+		if Hub() != proc {
+			t.Error("goroutine-local hub leaked across goroutines")
+		}
+	})
+}
+
+func TestWithHubNilMasksProcessHub(t *testing.T) {
+	proc := &Telemetry{Metrics: NewRegistry()}
+	WithDefault(proc, func() {
+		WithHub(nil, func() {
+			if Hub() != nil {
+				t.Error("nil goroutine hub did not mask the process hub")
+			}
+		})
+		if Hub() != proc {
+			t.Error("process hub not restored after nil mask")
+		}
+	})
+}
+
+func TestWithHubNests(t *testing.T) {
+	outer := &Telemetry{Metrics: NewRegistry()}
+	inner := &Telemetry{Metrics: NewRegistry()}
+	WithHub(outer, func() {
+		WithHub(inner, func() {
+			if Hub() != inner {
+				t.Error("inner goroutine hub not installed")
+			}
+		})
+		if Hub() != outer {
+			t.Error("outer goroutine hub not restored")
+		}
+	})
+	if Hub() != nil {
+		t.Error("goroutine hub leaked after outermost WithHub")
 	}
 }
