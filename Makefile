@@ -26,7 +26,7 @@ bench:
 # are deterministic, so in practice any drift means the model changed;
 # refresh the baseline intentionally with:
 #   BENCH_JSON=bench_baseline.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
-BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth
+BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth|BenchmarkSpanOverhead
 bench-check:
 	BENCH_JSON=/tmp/bench_current.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
 	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20
@@ -42,7 +42,8 @@ soak:
 	SOAK_SEEDS=$(SOAK_SEEDS) PARALLEL=$(PARALLEL) go test -run TestChaosSoak -v ./internal/netsim/
 
 # Documentation lint: every internal package and command carries a godoc
-# comment, and every relative markdown link in README.md / docs/ resolves.
+# comment, every relative markdown link in README.md / docs/ resolves,
+# and docs/METRICS.md matches a fresh `go run ./cmd/metricsdoc`.
 docs-check:
 	go run ./cmd/docscheck
 

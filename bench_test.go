@@ -37,6 +37,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/rmt"
+	"repro/internal/sim"
 	"repro/internal/swswitch"
 	"repro/internal/telemetry"
 )
@@ -470,5 +471,72 @@ func BenchmarkParallelFailoverSweep(b *testing.B) {
 		reg.Set("exp.parallel.par4_wall_s", par.Seconds()/float64(b.N))
 		reg.Set("exp.parallel.speedup_4w", speedup)
 		reg.Set("exp.parallel.cpus", float64(runtime.NumCPU()))
+	}
+}
+
+// BenchmarkSpanOverhead pins the cost of the causal-span layer on the
+// saturation workload (the worked example in docs/OBSERVABILITY.md).
+// "off" is the default hot path — telemetry masked entirely, so the
+// instrumentation is one nil/bool check per event and no chain is ever
+// allocated; "on" attaches a registry and tracer, so every packet carries
+// a causal chain, span events are emitted, and the critical path is
+// walked. Wall-clock per-run times are reported as benchmark metrics
+// (machine-dependent, excluded from the baseline); the deterministic
+// facts of the instrumented run — span event count, critical-path bucket
+// sum, and the CCT it must equal — are recorded as exp.spanoverhead.*
+// series so bench_baseline.json pins them.
+func BenchmarkSpanOverhead(b *testing.B) {
+	sat := func() []experiments.SaturationRow {
+		_, rows, err := experiments.Saturation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rows
+	}
+	var offS, onS float64
+	b.Run("off", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			telemetry.WithHub(nil, func() {
+				rows := sat()
+				if rows[0].AttrOK {
+					b.Fatal("attribution ran with telemetry masked off")
+				}
+			})
+		}
+		offS = time.Since(start).Seconds() / float64(b.N)
+	})
+	var spanEvents int
+	var attrSum, cct sim.Time
+	b.Run("on", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry(), Tracer: telemetry.NewTracer()}
+			telemetry.WithHub(tel, func() {
+				rows := sat()
+				if !rows[0].AttrOK {
+					b.Fatal("attribution missing with telemetry on")
+				}
+				attrSum, cct = rows[0].Attr.Sum(), rows[0].CCT
+			})
+			spanEvents = 0
+			for _, ev := range tel.Tracer.Events() {
+				if ev.Cat == "span" {
+					spanEvents++
+				}
+			}
+		}
+		onS = time.Since(start).Seconds() / float64(b.N)
+		if offS > 0 {
+			b.ReportMetric(onS/offS, "on/off-wall")
+		}
+	})
+	if attrSum != cct {
+		b.Fatalf("critical-path buckets sum to %d ps, CCT is %d ps", attrSum, cct)
+	}
+	if reg := telemetry.Hub().Reg(); reg != nil {
+		reg.Set("exp.spanoverhead.span_events", float64(spanEvents))
+		reg.Set("exp.spanoverhead.attr_sum_ps", float64(attrSum))
+		reg.Set("exp.spanoverhead.cct_ps", float64(cct))
 	}
 }

@@ -72,15 +72,16 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	expFlag := fs.String("exp", "", "comma-separated experiment ids, or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
-	metricsPath := fs.String("metrics", "", "write the metrics registry as JSON to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace-event file (Perfetto-viewable) to this file")
-	traceJSONLPath := fs.String("trace-jsonl", "", "write the trace as JSON lines (exact picosecond timestamps) to this file")
+	metricsPath := fs.String("metrics", "", "write the metrics registry as JSON to this file ('-' = stdout)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file (Perfetto-viewable) to this file ('-' = stdout)")
+	traceJSONLPath := fs.String("trace-jsonl", "", "write the trace as JSON lines (exact picosecond timestamps) to this file ('-' = stdout)")
+	spansPath := fs.String("spans", "", "write only the causal-span events (packet lineage + CCT segments) to this file ('-' = stdout); '.jsonl' suffix selects JSON lines, anything else Chrome trace format (implies tracing, so forces -parallel 1)")
 	traceDetail := fs.Bool("trace-detail", false, "trace per-stage pipeline events too (large traces)")
 	progress := fs.Bool("progress", false, "print each experiment id to stderr as it starts")
 	serveAddr := fs.String("serve", "", "serve /metrics, /healthz, /progress and pprof on this address while experiments run (e.g. 127.0.0.1:8080)")
 	reportPath := fs.String("report", "", "write a self-contained HTML run report to this file")
-	samplesCSV := fs.String("samples-csv", "", "write sampled time series as CSV to this file")
-	samplesJSON := fs.String("samples-json", "", "write sampled time series as JSON to this file")
+	samplesCSV := fs.String("samples-csv", "", "write sampled time series as CSV to this file ('-' = stdout)")
+	samplesJSON := fs.String("samples-json", "", "write sampled time series as JSON to this file ('-' = stdout)")
 	sampleIntervalUS := fs.Int("sample-interval-us", 10, "sampling period in simulated microseconds")
 	sampleCap := fs.Int("sample-cap", telemetry.DefaultSampleCapacity, "ring-buffer capacity per sampled series")
 	expTimeout := fs.Duration("exp-timeout", 0, "wall-clock watchdog deadline for the whole selected run (0 = none)")
@@ -127,22 +128,23 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	// Build the process-wide telemetry hub before any experiment builds a
 	// network, so netsim.New can attach switches to it. The registry exists
 	// whenever any consumer of metric values is requested; the sampler
-	// whenever any consumer of time series is.
+	// whenever any consumer of time series is. The flight recorder is
+	// unconditional: a bounded always-on ring of recent packet events, so
+	// a watchdog kill or a run-level invariant trip can dump what the
+	// simulation was doing right before it, even on runs with no export
+	// flags.
 	needSampler := *reportPath != "" || *serveAddr != "" || *samplesCSV != "" || *samplesJSON != ""
 	needReg := *metricsPath != "" || needSampler
-	var tel *telemetry.Telemetry
-	if needReg || *tracePath != "" || *traceJSONLPath != "" {
-		tel = &telemetry.Telemetry{Detail: *traceDetail}
-		if needReg {
-			tel.Metrics = telemetry.NewRegistry()
-		}
-		if *tracePath != "" || *traceJSONLPath != "" {
-			tel.Tracer = telemetry.NewTracer()
-		}
-		if needSampler {
-			tel.Sampler = telemetry.NewSampler(tel.Metrics,
-				sim.Time(*sampleIntervalUS)*sim.Microsecond, *sampleCap)
-		}
+	tel := &telemetry.Telemetry{Detail: *traceDetail, Flight: telemetry.NewFlightRecorder(0)}
+	if needReg {
+		tel.Metrics = telemetry.NewRegistry()
+	}
+	if *tracePath != "" || *traceJSONLPath != "" || *spansPath != "" {
+		tel.Tracer = telemetry.NewTracer()
+	}
+	if needSampler {
+		tel.Sampler = telemetry.NewSampler(tel.Metrics,
+			sim.Time(*sampleIntervalUS)*sim.Microsecond, *sampleCap)
 	}
 
 	if *cpuProfile != "" {
@@ -184,7 +186,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	// independent points across a worker pool of this width. Tracing forces
 	// sequential execution — traces are not mergeable.
 	workers := *parallelN
-	if tel != nil && tel.Tracer != nil && workers != 1 {
+	if tel.Tracer != nil && workers != 1 {
 		fmt.Fprintln(stderr, "tracing requested: forcing -parallel 1 (traces are not mergeable)")
 		workers = 1
 	}
@@ -195,6 +197,16 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "  %s: %d/%d points\n", sweep, done, total)
 		})
 		defer experiments.SetPointProgress(nil)
+	}
+
+	// When any export streams to stdout ('-'), the experiment tables move
+	// to stderr so the piped stream carries only the export document.
+	tableOut := stdout
+	for _, p := range []string{*metricsPath, *tracePath, *traceJSONLPath, *spansPath, *samplesCSV, *samplesJSON, *reportPath} {
+		if p == "-" {
+			tableOut = stderr
+			break
+		}
 	}
 
 	// The watchdog deadline bounds the WHOLE selected run: one context is
@@ -229,25 +241,19 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "running %s...\n", e.name)
 			}
 			srv.markRunning(e.name)
-			err := runWatched(runCtx, e, stdout, *expBudget)
+			err := runWatched(runCtx, e, tableOut, stderr, *expBudget, tel.Rec())
 			srv.markDone(e.name, err != nil)
-			if tel != nil {
-				srv.publish(tel.Reg())
-			}
+			srv.publish(tel.Reg())
 			if err != nil {
 				fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.name, err)
 				failed = append(failed, e.name)
 			} else {
-				fmt.Fprintln(stdout)
+				fmt.Fprintln(tableOut)
 			}
 			ran++
 		}
 	}
-	if tel != nil {
-		telemetry.WithDefault(tel, runSelected)
-	} else {
-		runSelected()
-	}
+	telemetry.WithDefault(tel, runSelected)
 	if ran == 0 {
 		fmt.Fprintln(stderr, "no experiments selected")
 		return 2
@@ -258,15 +264,13 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			return code
 		}
 	}
-	if tel != nil {
-		paths := outputPaths{
-			metrics: *metricsPath, trace: *tracePath, traceJSONL: *traceJSONLPath,
-			samplesCSV: *samplesCSV, samplesJSON: *samplesJSON,
-			report: *reportPath, title: "adcpsim -exp " + *expFlag,
-		}
-		if code := writeOutputs(tel, paths, stderr); code != 0 {
-			return code
-		}
+	paths := outputPaths{
+		metrics: *metricsPath, trace: *tracePath, traceJSONL: *traceJSONLPath,
+		spans: *spansPath, samplesCSV: *samplesCSV, samplesJSON: *samplesJSON,
+		report: *reportPath, title: "adcpsim -exp " + *expFlag,
+	}
+	if code := writeOutputs(tel, paths, stdout, stderr); code != 0 {
+		return code
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(stderr, "failed experiments: %s\n", strings.Join(failed, ", "))
@@ -279,14 +283,16 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 // deadline context. With a background context and no event budget it
 // degenerates to a plain call (experiments.Run never trips), so the
 // default CLI behavior is unchanged.
-func runWatched(ctx context.Context, e experiment, stdout io.Writer, budget uint64) error {
+func runWatched(ctx context.Context, e experiment, stdout, stderr io.Writer, budget uint64, fr *telemetry.FlightRecorder) error {
 	err := experiments.Run(ctx, e.name, budget, func() error { return e.run(stdout) })
 	var we *experiments.WatchdogError
 	if errors.As(err, &we) {
 		// A tripped watchdog abandoned the experiment goroutine mid-write;
 		// flag the output as truncated so a partial table is not mistaken
-		// for a complete one.
+		// for a complete one, and dump the flight-recorder ring so the last
+		// simulation events before the kill are on record.
 		fmt.Fprintf(stdout, "\n[experiment %s killed by watchdog: output above may be truncated]\n", e.name)
+		fr.Dump(stderr, we.Error())
 	}
 	return err
 }
@@ -310,21 +316,27 @@ func writeMemProfile(path string, stderr io.Writer) int {
 
 // outputPaths collects every post-run artifact the CLI can write.
 type outputPaths struct {
-	metrics, trace, traceJSONL string
-	samplesCSV, samplesJSON    string
-	report, title              string
+	metrics, trace, traceJSONL, spans string
+	samplesCSV, samplesJSON           string
+	report, title                     string
 }
 
-// writeOutputs serializes the telemetry sinks to the requested files.
-func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stderr io.Writer) int {
+// writeOutputs serializes the telemetry sinks to the requested files. A
+// path of "-" writes to stdout instead, so exports can be piped straight
+// into jq or a plotting script without touching disk.
+func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stdout, stderr io.Writer) int {
 	write := func(path, what string, fn func(io.Writer) error) int {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", what, err)
-			return 1
+		w := stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", what, err)
+				return 1
+			}
+			defer f.Close()
+			w = f
 		}
-		defer f.Close()
-		if err := fn(f); err != nil {
+		if err := fn(w); err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", what, err)
 			return 1
 		}
@@ -342,6 +354,15 @@ func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stderr io.Writer) int
 	}
 	if p.traceJSONL != "" {
 		if c := write(p.traceJSONL, "trace-jsonl", tel.Tracer.WriteJSONL); c != 0 {
+			return c
+		}
+	}
+	if p.spans != "" {
+		fn := func(w io.Writer) error { return tel.Tracer.WriteChromeTraceCat(w, "span") }
+		if strings.HasSuffix(p.spans, ".jsonl") {
+			fn = func(w io.Writer) error { return tel.Tracer.WriteJSONLCat(w, "span") }
+		}
+		if c := write(p.spans, "spans", fn); c != 0 {
 			return c
 		}
 	}

@@ -12,6 +12,10 @@
 //     (http/https/mailto and pure #anchor links are skipped; a #fragment
 //     on a relative link is checked against the target file's existence
 //     only).
+//   - Metrics reference: docs/METRICS.md must byte-match a fresh
+//     `go run ./cmd/metricsdoc` generation, which itself fails when a
+//     registered series is missing from the internal/metricnames catalog
+//     or vice versa.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/metricnames"
 )
 
 func main() {
@@ -49,6 +56,7 @@ func check(root string) []string {
 	problems = append(problems, checkPackageDocs(root, "internal", "Package")...)
 	problems = append(problems, checkPackageDocs(root, "cmd", "Command")...)
 	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkMetricsDoc(root)...)
 	sort.Strings(problems)
 	return problems
 }
@@ -151,4 +159,23 @@ func skipLink(target string) bool {
 		strings.HasPrefix(target, "https://") ||
 		strings.HasPrefix(target, "mailto:") ||
 		strings.HasPrefix(target, "#")
+}
+
+// checkMetricsDoc regenerates the metrics reference and byte-compares it
+// with the committed docs/METRICS.md, so both undocumented registrations
+// (Generate fails) and a stale committed file fail the lint.
+func checkMetricsDoc(root string) []string {
+	want, err := metricnames.Generate(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docs/METRICS.md: %v", err)}
+	}
+	path := filepath.Join(root, "docs", "METRICS.md")
+	got, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("docs/METRICS.md: %v (run `go run ./cmd/metricsdoc`)", err)}
+	}
+	if !bytes.Equal(got, want) {
+		return []string{"docs/METRICS.md is stale: run `go run ./cmd/metricsdoc` and commit the result"}
+	}
+	return nil
 }

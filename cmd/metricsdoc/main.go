@@ -1,0 +1,46 @@
+// Command metricsdoc regenerates the metrics reference (docs/METRICS.md)
+// from the catalog in internal/metricnames, verified against the series
+// registrations scanned out of the source tree. It exits non-zero when a
+// registered series is undocumented or a documented one no longer exists,
+// so the reference cannot silently drift; `make docs-check` compares the
+// committed file against a fresh generation.
+//
+// Usage:
+//
+//	metricsdoc [-root <repo root>] [-out docs/METRICS.md]
+//
+// An -out of "-" writes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metricnames"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	out := flag.String("out", filepath.Join("docs", "METRICS.md"), "output file ('-' = stdout)")
+	flag.Parse()
+	doc, err := metricnames.Generate(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	path := *out
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(*root, *out)
+	}
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdoc: wrote %s\n", path)
+}

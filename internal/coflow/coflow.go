@@ -144,6 +144,12 @@ func (s *Status) CCT() sim.Time { return s.LastDeliver - s.FirstSend }
 // completion times.
 type Tracker struct {
 	coflows map[uint32]*Status
+
+	// OnComplete, when non-nil, is invoked exactly once per coflow, from
+	// the Deliver call that satisfies its expected delivery count. The
+	// status is final for FirstSend/LastDeliver/CCT at that point.
+	// Telemetry uses this to close the coflow's root span.
+	OnComplete func(id uint32, s *Status)
 }
 
 // NewTracker returns an empty tracker.
@@ -175,7 +181,9 @@ func (t *Tracker) Send(id uint32, now sim.Time, bytes int) {
 	s.SentBytes += uint64(bytes)
 }
 
-// Deliver records a packet arriving at its destination host.
+// Deliver records a packet arriving at its destination host. The delivery
+// that flips a coflow to Done fires the OnComplete hook (if set) exactly
+// once, after the status is final.
 func (t *Tracker) Deliver(id uint32, now sim.Time, bytes int) {
 	s := t.get(id)
 	s.DeliverPkts++
@@ -183,8 +191,11 @@ func (t *Tracker) Deliver(id uint32, now sim.Time, bytes int) {
 	if now > s.LastDeliver {
 		s.LastDeliver = now
 	}
-	if s.ExpectedDeliveries > 0 && s.DeliverPkts >= s.ExpectedDeliveries {
+	if s.ExpectedDeliveries > 0 && s.DeliverPkts >= s.ExpectedDeliveries && !s.Done {
 		s.Done = true
+		if t.OnComplete != nil {
+			t.OnComplete(id, s)
+		}
 	}
 }
 

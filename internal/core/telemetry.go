@@ -66,12 +66,16 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	s.tm1.SetClock(now)
 	s.tm2.SetClock(now)
 	pid := tr.NewProcess("adcp/" + inst)
+	var sp *telemetry.Spans
+	if tr != nil {
+		sp = telemetry.NewSpans(tr, pid, tr.NewThread(pid, "spans"))
+	}
 	tm1TID := tr.NewThread(pid, "tm1")
 	tm2TID := tr.NewThread(pid, "tm2")
-	if obs := telemetry.TMObserver(occ1, wait1, tr, tel.Detail, now, "tm1", pid, tm1TID); obs != nil {
+	if obs := telemetry.TMObserver(occ1, wait1, tr, sp, tel.Detail, now, "tm1", pid, tm1TID); obs != nil {
 		s.tm1.SetObserver(obs)
 	}
-	if obs := telemetry.TMObserver(occ2, wait2, tr, tel.Detail, now, "tm2", pid, tm2TID); obs != nil {
+	if obs := telemetry.TMObserver(occ2, wait2, tr, sp, tel.Detail, now, "tm2", pid, tm2TID); obs != nil {
 		s.tm2.SetObserver(obs)
 	}
 	hz := s.cfg.Pipe.ClockHz
@@ -85,7 +89,7 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 			if lat != nil {
 				h = lat[role]
 			}
-			if obs := telemetry.PipelineObserver(h, tr, tel.Detail, now, hz, pid, tid); obs != nil {
+			if obs := telemetry.PipelineObserver(h, tr, sp, tel.Detail, now, hz, pid, tid); obs != nil {
 				p.SetObserver(obs)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // FailoverRow is one (arch, crash time, sync interval) point of the
@@ -35,6 +36,12 @@ type FailoverRow struct {
 	DeltaBytes   uint64
 	ReplOverhead float64
 	Retransmits  uint64
+	// Attr is the critical-path decomposition of CCT (AttrOK false when
+	// telemetry was off for the run). When present its buckets sum
+	// exactly to CCT; failover downtime lands in the failover_stall
+	// bucket.
+	Attr   telemetry.Breakdown
+	AttrOK bool
 }
 
 // failoverSeed pins each sweep point's injector seed, so adding a point
@@ -175,6 +182,7 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 		if sent := res.Network.Tracker().Status(25).SentBytes; sent > 0 {
 			row.ReplOverhead = float64(row.DeltaBytes) / float64(sent)
 		}
+		row.Attr, row.AttrOK = res.Network.Attribution(25)
 		rows[i] = row
 		la, lc, lsy := lbl("arch", c.arch), lbl("crash", lf(c.frac)), lbl("sync_ps", li(int(c.syncIv)))
 		record("failover.cct_ps", float64(row.CCT), la, lc, lsy)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // SaturationRow is one point of the saturation experiment.
@@ -15,6 +16,11 @@ type SaturationRow struct {
 	Traversals uint64
 	Recirc     uint64
 	CCT        sim.Time
+	// Attr is the critical-path decomposition of CCT (AttrOK false when
+	// telemetry was off for the run, in which case Attr is zero). When
+	// present its buckets sum exactly to CCT.
+	Attr   telemetry.Breakdown
+	AttrOK bool
 }
 
 // Saturation runs the parameter server on both architectures with the
@@ -45,6 +51,7 @@ func Saturation() (*stats.Table, []SaturationRow, error) {
 				return err
 			}
 			rows[i] = SaturationRow{Arch: "ADCP", Traversals: asw.IngressTraversals(), Recirc: 0, CCT: ares.CCT}
+			rows[i].Attr, rows[i].AttrOK = ares.Network.Attribution(41)
 			return nil
 		}
 		rsw, err := apps.NewParamServerRMT(rmtConfig(cc), ps)
@@ -56,6 +63,7 @@ func Saturation() (*stats.Table, []SaturationRow, error) {
 			return err
 		}
 		rows[i] = SaturationRow{Arch: "RMT", Traversals: rsw.IngressTraversals(), Recirc: rsw.RecirculationTraversals(), CCT: rres.CCT}
+		rows[i].Attr, rows[i].AttrOK = rres.Network.Attribution(41)
 		return nil
 	}); err != nil {
 		return nil, nil, err

@@ -1,0 +1,75 @@
+package metricnames
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func repoRoot() string { return filepath.Join("..", "..") }
+
+func TestScanFindsKnownRegistrations(t *testing.T) {
+	found, err := Scan(repoRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One representative per registration mechanism.
+	wants := map[string]string{
+		"net.e2e_latency_ps":                       "histogram", // direct reg.Histogram literal
+		"net.injected_pkts":                        "gauge",     // direct reg.ObserveFunc literal
+		"net.retx.pkts":                            "gauge",     // file-local forwarding helper (retx := func(name string, ...))
+		"exp.saturation.cct_ps":                    "value",     // experiments record() helper
+		telemetry.BucketRecirculation.SeriesName(): "value",     // dynamic bucket family
+	}
+	for name, kind := range wants {
+		if got := found[name]; got != kind {
+			t.Errorf("Scan[%q] = %q, want %q", name, got, kind)
+		}
+	}
+	// Trace event names must NOT be mistaken for metrics.
+	for _, not := range []string{"switch.process", "switch.arrive", "switch.error"} {
+		if _, ok := found[not]; ok {
+			t.Errorf("Scan picked up trace event name %q as a metric", not)
+		}
+	}
+}
+
+func TestGenerateMatchesCommittedDoc(t *testing.T) {
+	doc, err := Generate(repoRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(filepath.Join(repoRoot(), "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != string(committed) {
+		t.Fatal("docs/METRICS.md is stale: run `go run ./cmd/metricsdoc`")
+	}
+}
+
+func TestGenerateFailsOnUndocumentedSeries(t *testing.T) {
+	root := t.TempDir()
+	src := `package demo
+
+func register(reg registry) {
+	reg.Counter("demo.rogue_series")
+}
+`
+	if err := os.MkdirAll(filepath.Join(root, "internal", "demo"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "internal", "demo", "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(root)
+	if err == nil {
+		t.Fatal("Generate accepted an undocumented series")
+	}
+	if !strings.Contains(err.Error(), "demo.rogue_series") {
+		t.Fatalf("error does not name the rogue series: %v", err)
+	}
+}

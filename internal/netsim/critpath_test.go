@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// runUnderHub builds and exercises a network under a goroutine-local hub.
+func runUnderHub(t *testing.T, tel *telemetry.Telemetry, cfg Config, sw SwitchModel, drive func(n *Network)) *Network {
+	t.Helper()
+	var n *Network
+	telemetry.WithHub(tel, func() {
+		var err error
+		n, err = New(cfg, sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(n)
+	})
+	return n
+}
+
+// TestAttributionExactOnCleanPath checks the chain accounting against the
+// analytically known single-packet path: every picosecond of the CCT is
+// attributed, and each bucket carries exactly its modeled delay.
+func TestAttributionExactOnCleanPath(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	cfg := Config{Hosts: 2, LinkGbps: 100, PropDelay: 500 * sim.Nanosecond, SwitchLatency: sim.Microsecond}
+	p := rawPkt(0, 1, 9)
+	n := runUnderHub(t, tel, cfg, echoSwitch{}, func(n *Network) {
+		n.SendAt(0, p, 0)
+		n.Run()
+	})
+	bd, ok := n.Attribution(9)
+	if !ok {
+		t.Fatal("no attribution")
+	}
+	st := n.Tracker().Status(9)
+	if got, want := bd.Sum(), st.CCT(); got != want {
+		t.Fatalf("attribution sum %v != CCT %v", got, want)
+	}
+	ser := sim.Time(float64(p.WireLen()*8) / 100 * 1000)
+	if got, want := bd.Get(telemetry.BucketSerialization), 2*ser; got != want {
+		t.Errorf("serialization %v, want %v (both wire legs)", got, want)
+	}
+	if got, want := bd.Get(telemetry.BucketPropagation), 2*500*sim.Nanosecond; got != want {
+		t.Errorf("propagation %v, want %v", got, want)
+	}
+	if got, want := bd.Get(telemetry.BucketPipeline), sim.Microsecond; got != want {
+		t.Errorf("pipeline %v, want %v", got, want)
+	}
+	for _, b := range []telemetry.Bucket{telemetry.BucketSource, telemetry.BucketQueueing,
+		telemetry.BucketRecirculation, telemetry.BucketRetx, telemetry.BucketFailoverStall} {
+		if v := bd.Get(b); v != 0 {
+			t.Errorf("%s = %v on a clean single-packet run, want 0", b, v)
+		}
+	}
+}
+
+// TestAttributionPublishedAsRegistrySeries checks the cct.attr.* export
+// appears with net+coflow labels after Run.
+func TestAttributionPublishedAsRegistrySeries(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	runUnderHub(t, tel, DefaultConfig(4), echoSwitch{}, func(n *Network) {
+		n.SendAt(0, rawPkt(0, 2, 5), 0)
+		n.Run()
+	})
+	var buf bytes.Buffer
+	if err := tel.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		telemetry.BucketSerialization.SeriesName(),
+		telemetry.BucketPropagation.SeriesName(),
+		`"coflow": "5"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry export missing %q", want)
+		}
+	}
+}
+
+// TestSpanEventsCoverCCT runs with a tracer attached and checks the span
+// category carries the coflow root span plus segment spans whose summed
+// durations on the winning chain equal the CCT.
+func TestSpanEventsCoverCCT(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry(), Tracer: telemetry.NewTracer()}
+	n := runUnderHub(t, tel, DefaultConfig(4), echoSwitch{}, func(n *Network) {
+		n.Tracker().Expect(5, 1)
+		n.SendAt(0, rawPkt(0, 2, 5), 0)
+		n.Run()
+	})
+	var coflowSpans, segments int
+	for _, ev := range tel.Tracer.Events() {
+		if ev.Cat != "span" {
+			continue
+		}
+		switch {
+		case ev.Name == "span.coflow":
+			coflowSpans++
+			if got, want := ev.Dur, n.Tracker().Status(5).CCT(); got != want {
+				t.Errorf("coflow span duration %v != CCT %v", got, want)
+			}
+		case strings.HasPrefix(ev.Name, "span."):
+			segments++
+		}
+	}
+	if coflowSpans != 1 {
+		t.Fatalf("got %d span.coflow events, want 1", coflowSpans)
+	}
+	if segments == 0 {
+		t.Fatal("no segment spans emitted")
+	}
+}
+
+// TestFlightRecorderDumpsOnBudgetExhaustion pins the tentpole's triage
+// path: a run that trips a run-level invariant (here the event budget)
+// dumps the flight-recorder ring, including the most recent packet events.
+func TestFlightRecorderDumpsOnBudgetExhaustion(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry(), Flight: telemetry.NewFlightRecorder(64)}
+	var sink bytes.Buffer
+	runUnderHub(t, tel, DefaultConfig(4), echoSwitch{}, func(n *Network) {
+		n.FlightSink = &sink
+		// Enough packets that the budget trips mid-run.
+		for i := 0; i < 8; i++ {
+			n.SendAt(0, rawPkt(0, 2, 5), sim.Time(i)*sim.Microsecond)
+		}
+		n.Engine().SetEventBudget(6)
+		n.Run()
+	})
+	out := sink.String()
+	if !strings.Contains(out, "flight recorder dump") {
+		t.Fatalf("no flight dump on budget exhaustion; sink: %q", out)
+	}
+	if !strings.Contains(out, "event budget exhausted") {
+		t.Errorf("dump reason missing budget error: %q", out)
+	}
+	if !strings.Contains(out, "send") {
+		t.Errorf("dump carries no packet events: %q", out)
+	}
+}
+
+// TestCleanRunDoesNotDump pins that healthy runs stay silent.
+func TestCleanRunDoesNotDump(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry(), Flight: telemetry.NewFlightRecorder(64)}
+	var sink bytes.Buffer
+	runUnderHub(t, tel, DefaultConfig(4), echoSwitch{}, func(n *Network) {
+		n.FlightSink = &sink
+		n.SendAt(0, rawPkt(0, 2, 5), 0)
+		n.Run()
+	})
+	if sink.Len() != 0 {
+		t.Fatalf("clean run dumped: %q", sink.String())
+	}
+}

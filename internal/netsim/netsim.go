@@ -13,6 +13,8 @@ package netsim
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/coflow"
 	"repro/internal/faults"
@@ -156,6 +158,10 @@ type Network struct {
 	// OnDeliver, when set, observes every host delivery.
 	OnDeliver func(host int, pkt *packet.Packet, now sim.Time)
 
+	// FlightSink overrides where a run-level invariant violation dumps
+	// the flight-recorder ring (nil = stderr). Tests capture dumps here.
+	FlightSink io.Writer
+
 	injected  uint64
 	delivered uint64
 	errs      []error
@@ -188,6 +194,18 @@ type Network struct {
 	// to its delivery at the destination host, including recirculation
 	// passes and link/switch queueing.
 	e2eLat []*telemetry.Histogram
+
+	// Causal-chain state (nil without telemetry): attr collects each
+	// coflow's critical-path chain; spans emits the chains as trace spans
+	// (tracer runs only); coflowSpans holds each coflow's root span id;
+	// reg/inst let Run publish cct.attr.* series; fr is the always-on
+	// flight recorder ring dumped when a run-level invariant trips.
+	attr        *telemetry.CritPath
+	spans       *telemetry.Spans
+	coflowSpans map[uint32]telemetry.SpanID
+	reg         *telemetry.Registry
+	inst        string
+	fr          *telemetry.FlightRecorder
 }
 
 // New builds a network around the switch.
@@ -240,6 +258,7 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 // ambient telemetry hub.
 func (n *Network) instrument(tel *telemetry.Telemetry) {
 	reg, tr := tel.Reg(), tel.Trace()
+	n.fr = tel.Rec()
 	inst := "0"
 	if reg != nil {
 		inst = reg.InstanceLabel("net").Value
@@ -269,6 +288,21 @@ func (n *Network) instrument(tel *telemetry.Telemetry) {
 		n.txTID = tr.NewThread(n.pid, "tx")
 		n.swTID = tr.NewThread(n.pid, "switch")
 		n.rxTID = tr.NewThread(n.pid, "rx")
+		n.spans = telemetry.NewSpans(tr, n.pid, tr.NewThread(n.pid, "spans"))
+		n.coflowSpans = make(map[uint32]telemetry.SpanID)
+	}
+	// Critical-path chains are accounted whenever a consumer is attached:
+	// the registry consumes them as cct.attr.* series, the tracer as
+	// "span" category events, and either alone justifies the bookkeeping.
+	// A flight-recorder-only hub skips them (the ring wants cheap event
+	// stamps, not per-packet accounting).
+	if reg != nil || tr != nil {
+		n.attr = telemetry.NewCritPath()
+	}
+	n.reg, n.inst = reg, inst
+	n.tracker.OnComplete = func(id uint32, s *coflow.Status) {
+		n.spans.Complete(s.FirstSend, s.CCT(), "coflow", n.coflowSpan(id), 0, id)
+		n.fr.Record(n.eng.Now(), "coflow.done", int64(id), int64(s.CCT()))
 	}
 	if sw, ok := n.sw.(Instrumentable); ok {
 		sw.Instrument(tel, n.eng.Now)
@@ -281,6 +315,66 @@ func (n *Network) instrument(tel *telemetry.Telemetry) {
 			sb.Instrument(tel, n.eng.Now)
 		}
 	}
+}
+
+// newChain opens the causal account of one packet of coflow cf at time
+// at, or returns nil when chain accounting is off (no telemetry hub at
+// construction), keeping the uninstrumented hot path allocation-free.
+func (n *Network) newChain(cf uint32, at sim.Time) *telemetry.Chain {
+	if n.attr == nil {
+		return nil
+	}
+	var parent telemetry.SpanID
+	if n.spans != nil {
+		parent = n.coflowSpan(cf)
+	}
+	return telemetry.NewChain(at, cf, n.spans, parent)
+}
+
+// coflowSpan returns (allocating on first use) the coflow's root span id;
+// 0 when span tracing is off.
+func (n *Network) coflowSpan(cf uint32) telemetry.SpanID {
+	if n.spans == nil {
+		return 0
+	}
+	id, ok := n.coflowSpans[cf]
+	if !ok {
+		id = n.spans.NewSpan()
+		n.coflowSpans[cf] = id
+	}
+	return id
+}
+
+// Attribution returns coflow cf's critical-path CCT decomposition: the
+// bucket durations of the chain whose delivery set the coflow's
+// completion time, plus the source residual, summing exactly to the
+// tracker's CCT. ok is false when chain accounting is off or the coflow
+// has no delivery.
+func (n *Network) Attribution(cf uint32) (telemetry.Breakdown, bool) {
+	if n.attr == nil {
+		return telemetry.Breakdown{}, false
+	}
+	fs := sim.Time(0)
+	if s := n.tracker.Status(cf); s != nil {
+		fs = s.FirstSend
+	}
+	return n.attr.Attribution(cf, fs)
+}
+
+// publishAttribution exports every completed coflow's attribution as
+// cct.attr.* registry series. Called once the run is quiescent.
+func (n *Network) publishAttribution() {
+	if n.attr == nil || n.reg == nil {
+		return
+	}
+	n.attr.Publish(n.reg, []telemetry.Label{telemetry.L("net", n.inst)},
+		func(cf uint32) (sim.Time, bool) {
+			s := n.tracker.Status(cf)
+			if s == nil {
+				return 0, false
+			}
+			return s.FirstSend, true
+		})
 }
 
 // Engine exposes the event engine (for scheduling application logic).
@@ -342,12 +436,14 @@ func (n *Network) startSend(src int, pkt *packet.Packet) {
 	cf := coflowOf(pkt)
 	n.tracker.Send(cf, now, pkt.WireLen())
 	n.injected++
+	n.fr.Record(now, "send", int64(cf), int64(src))
+	ch := n.newChain(cf, now)
 	var ts *txState
 	if n.rec != nil {
-		ts = &txState{src: src, cf: cf, uid: n.txSeq, pristine: pkt.Clone(), rto: n.rec.Timeout}
+		ts = &txState{src: src, cf: cf, uid: n.txSeq, pristine: pkt.Clone(), rto: n.rec.Timeout, chain: ch}
 		n.txSeq++
 	}
-	n.transmit(src, pkt, ts, false)
+	n.transmit(src, pkt, ts, ch, false)
 }
 
 // arriveAtSwitch runs the switch synchronously and schedules deliveries.
@@ -358,18 +454,22 @@ func (n *Network) startSend(src int, pkt *packet.Packet) {
 // retransmission state (nil without recovery): the first copy to arrive is
 // acknowledged, later copies are suppressed here, before the switch
 // program, so stateful switch programs never see duplicates.
-func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
+func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txState, ch *telemetry.Chain) {
 	if n.inj != nil {
 		if end, stalled := n.inj.StallEnd(n.eng.Now()); stalled {
 			// Switch stall window: the arrival is held (input buffering)
 			// and replayed when the switch resumes.
 			n.led.StallDeferrals++
-			n.eng.Schedule(end, func() { n.arriveAtSwitch(pkt, sentAt, ts) })
+			n.fr.Record(n.eng.Now(), "stall.defer", int64(coflowOf(pkt)), int64(end))
+			n.eng.Schedule(end, func() {
+				ch.Advance(n.eng.Now(), telemetry.BucketFailoverStall)
+				n.arriveAtSwitch(pkt, sentAt, ts, ch)
+			})
 			return
 		}
 	}
 	if n.pair != nil {
-		n.haArrival(pkt, sentAt, ts)
+		n.haArrival(pkt, sentAt, ts, ch)
 		return
 	}
 	if n.swCrashed {
@@ -383,7 +483,10 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 	}
 	if counter != nil && n.swBusyUntil > n.eng.Now() {
 		at := n.swBusyUntil
-		n.eng.Schedule(at, func() { n.arriveAtSwitch(pkt, sentAt, ts) })
+		n.eng.Schedule(at, func() {
+			ch.Advance(n.eng.Now(), telemetry.BucketQueueing)
+			n.arriveAtSwitch(pkt, sentAt, ts, ch)
+		})
 		return
 	}
 	n.led.SwitchArrivals++
@@ -394,6 +497,7 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 			// re-ack so the sender stops.
 			n.led.DupSuppressed++
 			n.tracker.Duplicate(ts.cf)
+			n.fr.Record(n.eng.Now(), "dup.suppress", int64(ts.cf), int64(ts.uid))
 			n.sendAck(ts)
 			return
 		}
@@ -401,7 +505,12 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 		n.sendAck(ts)
 		// End-to-end latency spans from the first transmission attempt.
 		sentAt = ts.firstSent
+		// Detach the switch-side account from the sender's: a spurious
+		// retransmission (lost ack) keeps advancing ts.chain, which must
+		// not disturb the accepted copy's history.
+		ch = ch.Fork()
 	}
+	n.fr.Record(n.eng.Now(), "switch.arrive", int64(coflowOf(pkt)), int64(pkt.IngressPort))
 	var before uint64
 	if counter != nil {
 		before = counter.IngressTraversals()
@@ -413,6 +522,7 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 		n.errs = append(n.errs, err)
 		n.led.SwitchErrors++
 		n.tracker.Drop(coflowOf(pkt))
+		n.fr.Record(n.eng.Now(), "switch.error", int64(coflowOf(pkt)), 0)
 		if n.tr != nil {
 			n.tr.Instant(n.eng.Now(), "switch.error", "net", n.pid, n.swTID,
 				map[string]any{"error": err.Error()})
@@ -432,19 +542,24 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 		perTraversal := sim.Time(1e12 / n.cfg.ServiceRatePPS)
 		n.swBusyUntil = n.eng.Now() + sim.Time(delta)*perTraversal
 	}
-	n.scheduleOutputs(outs, sentAt)
+	n.scheduleOutputs(outs, sentAt, ch)
 }
 
 // scheduleOutputs books the switch's output packets and schedules their
 // downlink deliveries. sentAt is the originating packet's transmission
 // start (for the end-to-end latency histogram). In HA mode this runs as
-// the deferred commit of an arrival, at its delta's ship time.
-func (n *Network) scheduleOutputs(outs []*packet.Packet, sentAt sim.Time) {
+// the deferred commit of an arrival, at its delta's ship time — the
+// opening chain advance then charges the output-commit deferral to
+// queueing. Each output past the first forks the account so multicast
+// branches carry independent cursors.
+func (n *Network) scheduleOutputs(outs []*packet.Packet, sentAt sim.Time, ch *telemetry.Chain) {
 	n.led.SwitchOutputs += uint64(len(outs))
-	for _, out := range outs {
+	now := n.eng.Now()
+	ch.Advance(now, telemetry.BucketQueueing)
+	for i, out := range outs {
 		out := out
 		// Each recirculated pass adds a full pipeline transit.
-		base := n.eng.Now() + n.cfg.SwitchLatency*sim.Time(1+out.Recirculations)
+		base := now + n.cfg.SwitchLatency*sim.Time(1+out.Recirculations)
 		dst := out.EgressPort
 		if dst < 0 || dst >= n.cfg.Hosts {
 			// Delivered on a port with no host attached: account it as a
@@ -455,11 +570,17 @@ func (n *Network) scheduleOutputs(outs []*packet.Packet, sentAt sim.Time) {
 			continue
 		}
 		cf := coflowOf(out)
+		c := ch
+		if i < len(outs)-1 {
+			c = ch.Fork() // the last output continues on the parent account
+		}
+		c.Advance(now+n.cfg.SwitchLatency, telemetry.BucketPipeline)
+		c.Advance(base, telemetry.BucketRecirculation)
 		var rs *rxState
 		if n.rec != nil {
-			rs = &rxState{dst: dst, cf: cf, pkt: out, sentAt: sentAt, rto: n.rec.Timeout}
+			rs = &rxState{dst: dst, cf: cf, pkt: out, sentAt: sentAt, rto: n.rec.Timeout, chain: c}
 		}
-		n.attemptDeliver(dst, out, cf, base, sentAt, rs, false)
+		n.attemptDeliver(dst, out, cf, base, sentAt, rs, c, false)
 	}
 }
 
@@ -471,6 +592,7 @@ func (n *Network) crashDrop(pkt *packet.Packet, ts *txState) {
 	n.led.CrashDrops++
 	cf := coflowOf(pkt)
 	n.tracker.Lose(cf)
+	n.fr.Record(n.eng.Now(), "crash.drop", int64(cf), int64(pkt.IngressPort))
 	if ts == nil {
 		n.tracker.Drop(cf)
 	}
@@ -484,7 +606,7 @@ func (n *Network) crashDrop(pkt *packet.Packet, ts *txState) {
 // crash before the ship point therefore acks nothing: the sender times
 // out and retransmits to the promoted standby, which applies the packet
 // exactly once.
-func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
+func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState, ch *telemetry.Chain) {
 	n.led.SwitchArrivals++
 	if !n.pair.Alive() {
 		n.crashDrop(pkt, ts)
@@ -497,6 +619,7 @@ func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
 			// exactly what output commit withholds.
 			n.led.DupSuppressed++
 			n.tracker.Duplicate(ts.cf)
+			n.fr.Record(n.eng.Now(), "dup.suppress", int64(ts.cf), int64(ts.uid))
 			if n.pair.Committed(ts.uid) {
 				n.sendAck(ts)
 			}
@@ -508,12 +631,17 @@ func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
 	if ts != nil {
 		uid = ts.uid
 	}
+	n.fr.Record(n.eng.Now(), "switch.arrive", int64(coflowOf(pkt)), int64(pkt.IngressPort))
+	// Detach the committed account from the sender's (see arriveAtSwitch);
+	// the commit closure runs at the delta's ship time, possibly after
+	// spurious retransmissions have advanced ts.chain.
+	ch = ch.Fork()
 	start := sentAt
 	err := n.pair.Submit(uid, pkt, func(outs []*packet.Packet) {
 		if ts != nil {
 			n.sendAck(ts)
 		}
-		n.scheduleOutputs(outs, start)
+		n.scheduleOutputs(outs, start, ch)
 	})
 	if err != nil {
 		// Deterministic processing error: the standby's replay reproduces
@@ -525,6 +653,7 @@ func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
 		n.errs = append(n.errs, err)
 		n.led.SwitchErrors++
 		n.tracker.Drop(coflowOf(pkt))
+		n.fr.Record(n.eng.Now(), "switch.error", int64(coflowOf(pkt)), 0)
 		if n.tr != nil {
 			n.tr.Instant(n.eng.Now(), "switch.error", "net", n.pid, n.swTID,
 				map[string]any{"error": err.Error()})
@@ -538,7 +667,7 @@ func (n *Network) haArrival(pkt *packet.Packet, sentAt sim.Time, ts *txState) {
 	}
 }
 
-func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time) {
+func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time, ch *telemetry.Chain) {
 	h := n.hosts[dst]
 	h.Received = append(h.Received, p)
 	h.RxBytes += uint64(p.WireLen())
@@ -546,7 +675,11 @@ func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time)
 	if n.e2eLat != nil {
 		n.e2eLat[dst].Observe(float64(n.eng.Now() - sentAt))
 	}
+	// The critical-path collector applies the same strictly-later rule as
+	// the tracker, so the chain it keeps is the one that set LastDeliver.
+	n.attr.Deliver(cf, n.eng.Now(), ch)
 	n.tracker.Deliver(cf, n.eng.Now(), p.WireLen())
+	n.fr.Record(n.eng.Now(), "deliver", int64(cf), int64(dst))
 	if n.tr != nil {
 		n.tr.Instant(n.eng.Now(), "deliver", "net", n.pid, n.rxTID,
 			map[string]any{"host": dst, "coflow": cf})
@@ -559,8 +692,13 @@ func (n *Network) deliver(dst int, p *packet.Packet, cf uint32, sentAt sim.Time)
 // Run drains the event queue, then — if the queue actually emptied (no
 // Stop mid-run) — asserts packet conservation and the tracker invariants,
 // appending any violation to the error list every harness already checks.
+// A violation from these run-level checks (budget exhaustion included)
+// dumps the flight-recorder ring to stderr, so the failure arrives with
+// the last events the simulation executed. Finally the critical-path
+// attribution of every completed coflow is published to the registry.
 func (n *Network) Run() {
 	n.eng.Run()
+	pre := len(n.errs)
 	if n.eng.BudgetExceeded() {
 		n.errs = append(n.errs, fmt.Errorf("netsim: sim event budget exhausted after %d events at %v",
 			n.eng.Fired(), n.eng.Now()))
@@ -573,6 +711,14 @@ func (n *Network) Run() {
 			n.errs = append(n.errs, err)
 		}
 	}
+	if len(n.errs) > pre && n.fr != nil {
+		sink := n.FlightSink
+		if sink == nil {
+			sink = os.Stderr
+		}
+		n.fr.Dump(sink, n.errs[len(n.errs)-1].Error())
+	}
+	n.publishAttribution()
 }
 
 // RunUntil drains events up to the deadline.

@@ -89,6 +89,8 @@ type txState struct {
 	arrived   bool
 	acked     bool
 	aborted   bool
+	// chain is the packet's causal account (nil when attribution is off).
+	chain *telemetry.Chain
 }
 
 // rxState is the egress-side redelivery state of one switch output.
@@ -99,13 +101,14 @@ type rxState struct {
 	sentAt sim.Time
 	rto    sim.Time
 	retx   int
+	chain  *telemetry.Chain // causal account (nil when attribution is off)
 }
 
 // transmit makes one uplink wire attempt. retx marks attempts beyond the
 // first; an attempt whose packet was meanwhile acked (or abandoned) is
 // skipped without touching the ledger, so TxAttempts = Injected + UplinkRetx
 // holds exactly.
-func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, retx bool) {
+func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, ch *telemetry.Chain, retx bool) {
 	if ts != nil && (ts.acked || ts.aborted) {
 		return
 	}
@@ -117,6 +120,8 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, retx bool) 
 	if retx {
 		n.led.UplinkRetx++
 		n.tracker.Retransmit(ts.cf)
+		n.fr.Record(now, "retx.tx", int64(ts.cf), int64(ts.retx))
+		n.chargeRecoveryWait(ch, now)
 	} else if ts != nil {
 		ts.firstSent = start
 	}
@@ -136,6 +141,8 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, retx bool) 
 		return
 	}
 	done := start + n.serialization(src, pkt)
+	ch.Advance(start, telemetry.BucketQueueing)
+	ch.Advance(done, telemetry.BucketSerialization)
 	n.txBusyUntil[src] = done
 	arrive := done + n.cfg.PropDelay
 	if n.tr != nil {
@@ -144,7 +151,10 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, retx bool) 
 	}
 	switch out {
 	case faults.OK:
-		n.eng.Schedule(arrive, func() { n.arriveAtSwitch(pkt, start, ts) })
+		n.eng.Schedule(arrive, func() {
+			ch.Advance(n.eng.Now(), telemetry.BucketPropagation)
+			n.arriveAtSwitch(pkt, start, ts, ch)
+		})
 	case faults.Lost:
 		n.countTxFault(out, ts, pkt)
 	case faults.Corrupt:
@@ -155,6 +165,46 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, retx bool) 
 	if ts != nil {
 		ts.timer = n.eng.Schedule(done+ts.rto, func() { n.txTimeout(ts) })
 	}
+}
+
+// chargeRecoveryWait attributes a retransmission wait — the chain's gap
+// from its last accounted point up to now — splitting out any overlap
+// with a switch outage window into the failover-stall bucket. The wait of
+// a sender whose packet died (or sat uncommitted) across a crash is
+// downtime, not protocol backoff, and the pair's crash/promotion stamps
+// bound that window exactly; the remainder is ordinary retx time.
+func (n *Network) chargeRecoveryWait(ch *telemetry.Chain, now sim.Time) {
+	if ch == nil {
+		return
+	}
+	if lo, hi, ok := n.outageWindow(now); ok && hi > ch.Cursor() && lo < now {
+		ch.Advance(lo, telemetry.BucketRetx)
+		if hi > now {
+			hi = now
+		}
+		ch.Advance(hi, telemetry.BucketFailoverStall)
+	}
+	ch.Advance(now, telemetry.BucketRetx)
+}
+
+// outageWindow returns the [crash, promotion) interval during which no
+// switch replica was serving; hi is `now` while the outage is ongoing
+// (crashed with promotion pending, or a standby-less crash — permanent).
+func (n *Network) outageWindow(now sim.Time) (lo, hi sim.Time, ok bool) {
+	if n.pair != nil {
+		st := n.pair.Stats()
+		if st.CrashAt == 0 {
+			return 0, 0, false
+		}
+		if st.Promotions == 0 {
+			return st.CrashAt, now, true
+		}
+		return st.CrashAt, st.PromotedAt, true
+	}
+	if n.swCrashed && n.cfg.Faults != nil {
+		return n.cfg.Faults.SwitchCrashAt, now, true
+	}
+	return 0, 0, false
 }
 
 // countTxFault books one faulted uplink attempt; without recovery the
@@ -214,7 +264,7 @@ func (n *Network) resendOrAbort(ts *txState, at sim.Time) {
 			when = up
 		}
 	}
-	n.eng.Schedule(when, func() { n.transmit(ts.src, ts.pristine.Clone(), ts, true) })
+	n.eng.Schedule(when, func() { n.transmit(ts.src, ts.pristine.Clone(), ts, ts.chain, true) })
 }
 
 // sendAck launches the switch's acknowledgement of an intact arrival back
@@ -239,7 +289,7 @@ func (n *Network) sendAck(ts *txState) {
 // attemptDeliver makes one downlink wire attempt toward dst, no earlier
 // than `earliest` and respecting the downlink's serialization queue. rs is
 // nil without recovery (faulted deliveries then drop terminally).
-func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest, sentAt sim.Time, rs *rxState, retx bool) {
+func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest, sentAt sim.Time, rs *rxState, ch *telemetry.Chain, retx bool) {
 	start := earliest
 	if n.rxBusyUntil[dst] > start {
 		start = n.rxBusyUntil[dst]
@@ -247,6 +297,8 @@ func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest,
 	if retx {
 		n.led.DownlinkRetx++
 		n.tracker.Retransmit(cf)
+		n.fr.Record(n.eng.Now(), "retx.rx", int64(cf), int64(rs.retx))
+		ch.Advance(n.eng.Now(), telemetry.BucketRetx)
 	}
 	n.led.RxAttempts++
 	out := faults.OK
@@ -260,6 +312,8 @@ func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest,
 		return
 	}
 	done := start + n.serialization(dst, p)
+	ch.Advance(start, telemetry.BucketQueueing)
+	ch.Advance(done, telemetry.BucketSerialization)
 	n.rxBusyUntil[dst] = done
 	arrive := done + n.cfg.PropDelay
 	if n.tr != nil && n.detail {
@@ -271,7 +325,10 @@ func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest,
 		n.redeliver(rs, done)
 		return
 	}
-	n.eng.Schedule(arrive, func() { n.deliver(dst, p, cf, sentAt) })
+	n.eng.Schedule(arrive, func() {
+		ch.Advance(n.eng.Now(), telemetry.BucketPropagation)
+		n.deliver(dst, p, cf, sentAt, ch)
+	})
 }
 
 // countRxFault books one faulted downlink attempt; without recovery the
@@ -316,7 +373,7 @@ func (n *Network) redeliver(rs *rxState, at sim.Time) {
 		}
 	}
 	n.eng.Schedule(when, func() {
-		n.attemptDeliver(rs.dst, rs.pkt, rs.cf, n.eng.Now(), rs.sentAt, rs, true)
+		n.attemptDeliver(rs.dst, rs.pkt, rs.cf, n.eng.Now(), rs.sentAt, rs, rs.chain, true)
 	})
 }
 

@@ -154,12 +154,15 @@ func Run(points []Point, opt Options) error {
 // mirror builds a point-local hub matching the destination's shape: a
 // fresh registry when the destination records metrics, a fresh sampler
 // with the destination's interval and capacity when it samples. Tracers
-// are never mirrored (Run forces one worker instead).
+// are never mirrored (Run forces one worker instead). The flight
+// recorder is shared, not mirrored: it is a concurrency-safe diagnostic
+// ring outside the deterministic exports, and a post-mortem dump should
+// see every worker's last moves.
 func mirror(dst *telemetry.Telemetry) *telemetry.Telemetry {
 	if dst == nil {
 		return nil
 	}
-	local := &telemetry.Telemetry{Detail: dst.Detail}
+	local := &telemetry.Telemetry{Detail: dst.Detail, Flight: dst.Flight}
 	if dst.Metrics != nil {
 		local.Metrics = telemetry.NewRegistry()
 		if dst.Sampler != nil {

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// attribution bar geometry (pixels inside the SVG viewBox).
+const (
+	attrBarH   = 18
+	attrBarGap = 6
+	attrPadL   = 110 // row label gutter
+	attrPadR   = 70  // total label gutter
+	attrChartW = 720
+	attrPadTop = 4
+)
+
+// attrRow is one coflow's critical-path breakdown: the cct.attr.* series
+// sharing a (net, coflow) label pair, in bucket order.
+type attrRow struct {
+	net, coflow string
+	buckets     [telemetry.NumBuckets]float64
+	total       float64
+}
+
+func (r *attrRow) title() string {
+	if r.net == "" && r.coflow == "" {
+		return "(no labels)"
+	}
+	return "net " + r.net + " coflow " + r.coflow
+}
+
+// collectAttribution gathers cct.attr.* value series into per-coflow rows,
+// sorted by net then numeric coflow id — the same order the registry
+// publishes them in, so the report is deterministic.
+func collectAttribution(snap telemetry.Snapshot) []*attrRow {
+	byName := map[string]telemetry.Bucket{}
+	for bk := telemetry.Bucket(0); bk < telemetry.NumBuckets; bk++ {
+		byName[bk.SeriesName()] = bk
+	}
+	idx := map[string]*attrRow{}
+	for _, m := range snap.Metrics {
+		bk, ok := byName[m.Name]
+		if !ok || m.Kind != telemetry.KindValue {
+			continue
+		}
+		key := m.Labels["net"] + "\x00" + m.Labels["coflow"]
+		r := idx[key]
+		if r == nil {
+			r = &attrRow{net: m.Labels["net"], coflow: m.Labels["coflow"]}
+			idx[key] = r
+		}
+		r.buckets[bk] += m.Value
+		r.total += m.Value
+	}
+	rows := make([]*attrRow, 0, len(idx))
+	for _, r := range idx {
+		rows = append(rows, r)
+	}
+	num := func(s string) int64 {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].net != rows[j].net {
+			return rows[i].net < rows[j].net
+		}
+		ni, nj := num(rows[i].coflow), num(rows[j].coflow)
+		if ni != nj {
+			return ni < nj
+		}
+		return rows[i].coflow < rows[j].coflow
+	})
+	return rows
+}
+
+// writeAttribution renders the critical-path CCT breakdown: a per-coflow
+// table of bucket times and a stacked horizontal bar chart. Bars share one
+// absolute time axis, so coflows are comparable at a glance and the
+// recirculation tax or a failover stall shows up as a visibly wider band.
+func writeAttribution(b *strings.Builder, snap telemetry.Snapshot) {
+	rows := collectAttribution(snap)
+	if len(rows) == 0 {
+		return
+	}
+	b.WriteString("<h2>CCT attribution</h2>\n")
+	b.WriteString("<p class=\"meta\">critical-path breakdown of each coflow's completion time; buckets tile the CCT exactly</p>\n")
+
+	// Table: one row per (net, coflow), one column per bucket plus total.
+	b.WriteString("<table>\n<tr><th>net</th><th>coflow</th>")
+	for bk := telemetry.Bucket(0); bk < telemetry.NumBuckets; bk++ {
+		fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(bk.String()))
+	}
+	b.WriteString("<th>total (CCT)</th></tr>\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td>",
+			html.EscapeString(r.net), html.EscapeString(r.coflow))
+		for bk := telemetry.Bucket(0); bk < telemetry.NumBuckets; bk++ {
+			v := r.buckets[bk]
+			if v == 0 {
+				b.WriteString("<td class=\"num\">&mdash;</td>")
+				continue
+			}
+			pct := 0.0
+			if r.total > 0 {
+				pct = v / r.total * 100
+			}
+			fmt.Fprintf(b, "<td class=\"num\">%s (%.1f%%)</td>",
+				html.EscapeString(psString(int64(v))), pct)
+		}
+		fmt.Fprintf(b, "<td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(psString(int64(r.total))))
+	}
+	b.WriteString("</table>\n")
+
+	// Stacked bars on a shared absolute axis.
+	maxTotal := 0.0
+	for _, r := range rows {
+		if r.total > maxTotal {
+			maxTotal = r.total
+		}
+	}
+	if maxTotal == 0 {
+		return
+	}
+	plotW := float64(attrChartW - attrPadL - attrPadR)
+	height := attrPadTop + len(rows)*(attrBarH+attrBarGap)
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\">\n",
+		attrChartW, height, attrChartW, height)
+	for i, r := range rows {
+		y := attrPadTop + i*(attrBarH+attrBarGap)
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" class=\"ax\" text-anchor=\"end\">%s</text>\n",
+			attrPadL-6, y+attrBarH-5, html.EscapeString(r.title()))
+		x := float64(attrPadL)
+		for bk := telemetry.Bucket(0); bk < telemetry.NumBuckets; bk++ {
+			w := r.buckets[bk] / maxTotal * plotW
+			if w <= 0 {
+				continue
+			}
+			fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\"><title>%s: %s</title></rect>\n",
+				x, y, w, attrBarH, palette[int(bk)%len(palette)],
+				html.EscapeString(bk.String()), html.EscapeString(psString(int64(r.buckets[bk]))))
+			x += w
+		}
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\" class=\"ax\">%s</text>\n",
+			x+4, y+attrBarH-5, html.EscapeString(psString(int64(r.total))))
+	}
+	b.WriteString("</svg>\n")
+	// Legend: bucket colors, in bucket order.
+	b.WriteString("<p class=\"legend\">")
+	for bk := telemetry.Bucket(0); bk < telemetry.NumBuckets; bk++ {
+		if bk > 0 {
+			b.WriteString(" &nbsp; ")
+		}
+		fmt.Fprintf(b, "<span style=\"color:%s\">&#9632;</span> %s",
+			palette[int(bk)%len(palette)], html.EscapeString(bk.String()))
+	}
+	b.WriteString("</p>\n")
+}

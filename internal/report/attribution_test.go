@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// buildAttrSnapshot publishes two coflows' worth of cct.attr.* series the
+// way netsim does — one clean, one paying a recirculation tax and a
+// failover stall.
+func buildAttrSnapshot() telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	set := func(cf string, bk telemetry.Bucket, v float64) {
+		reg.Set(bk.SeriesName(), v, telemetry.L("net", "0"), telemetry.L("coflow", cf))
+	}
+	set("5", telemetry.BucketSerialization, 16000)
+	set("5", telemetry.BucketPropagation, 1_000_000)
+	set("5", telemetry.BucketPipeline, 1_000_000)
+	set("41", telemetry.BucketSerialization, 16000)
+	set("41", telemetry.BucketPropagation, 1_000_000)
+	set("41", telemetry.BucketQueueing, 3_000_000)
+	set("41", telemetry.BucketRecirculation, 2_000_000)
+	set("41", telemetry.BucketFailoverStall, 5_000_000)
+	reg.Set("exp.goodput_gbps", 42.5)
+	return reg.Snapshot()
+}
+
+func renderAttr(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, Report{Title: "attr", Snapshot: buildAttrSnapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAttributionSectionRenders(t *testing.T) {
+	out := renderAttr(t)
+	if !strings.Contains(out, "CCT attribution") {
+		t.Fatal("report missing attribution section")
+	}
+	for _, want := range []string{
+		"<th>recirculation</th>", "<th>failover_stall</th>", "<th>total (CCT)</th>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution table missing %q", want)
+		}
+	}
+	// Stacked bars: coflow 41 has five nonzero buckets, coflow 5 three.
+	if n := strings.Count(out, "<rect x="); n < 8 {
+		t.Errorf("attribution chart has %d bar segments, want >= 8", n)
+	}
+	// Rows sort by numeric coflow id: 5 before 41.
+	i5 := strings.Index(out, "net 0 coflow 5")
+	i41 := strings.Index(out, "net 0 coflow 41")
+	if i5 < 0 || i41 < 0 || i41 < i5 {
+		t.Errorf("bar rows missing or misordered: coflow5@%d coflow41@%d", i5, i41)
+	}
+}
+
+func TestAttributionExcludedFromHeadlines(t *testing.T) {
+	out := renderAttr(t)
+	// The generic results table keeps other value series but not the
+	// cct.attr.* ones (those live in the attribution section).
+	res := out[strings.Index(out, "<h2>Results</h2>"):strings.Index(out, "<h2>CCT attribution</h2>")]
+	if !strings.Contains(res, "exp.goodput_gbps") {
+		t.Error("results table lost its headline metric")
+	}
+	if strings.Contains(res, telemetry.AttrSeriesPrefix) {
+		t.Error("attribution series leaked into the results table")
+	}
+}
+
+func TestAttributionAbsentWhenNoSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Set("exp.goodput_gbps", 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, Report{Title: "plain", Snapshot: reg.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "CCT attribution") {
+		t.Error("attribution section rendered without cct.attr.* series")
+	}
+}

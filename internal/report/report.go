@@ -61,6 +61,7 @@ func Write(w io.Writer, r Report) error {
 	b.WriteString("</p>\n")
 
 	writeHeadlines(&b, r.Snapshot)
+	writeAttribution(&b, r.Snapshot)
 	writeHistTables(&b, r.Snapshot)
 	writeCharts(&b, r.Series)
 
@@ -70,10 +71,12 @@ func Write(w io.Writer, r Report) error {
 }
 
 // writeHeadlines renders every KindValue metric as one results table.
+// Attribution series are excluded: they get their own section with a
+// per-bucket table and stacked bars.
 func writeHeadlines(b *strings.Builder, snap telemetry.Snapshot) {
 	var rows []telemetry.MetricSnapshot
 	for _, m := range snap.Metrics {
-		if m.Kind == telemetry.KindValue {
+		if m.Kind == telemetry.KindValue && !strings.HasPrefix(m.Name, telemetry.AttrSeriesPrefix) {
 			rows = append(rows, m)
 		}
 	}

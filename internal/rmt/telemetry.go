@@ -57,8 +57,12 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 	}
 	s.tmgr.SetClock(now)
 	pid := tr.NewProcess("rmt/" + inst)
+	var sp *telemetry.Spans
+	if tr != nil {
+		sp = telemetry.NewSpans(tr, pid, tr.NewThread(pid, "spans"))
+	}
 	tmTID := tr.NewThread(pid, "tm")
-	if obs := telemetry.TMObserver(occ, tmWait, tr, tel.Detail, now, "tm", pid, tmTID); obs != nil {
+	if obs := telemetry.TMObserver(occ, tmWait, tr, sp, tel.Detail, now, "tm", pid, tmTID); obs != nil {
 		s.tmgr.SetObserver(obs)
 	}
 	hz := s.cfg.Pipe.ClockHz
@@ -72,7 +76,7 @@ func (s *Switch) Instrument(tel *telemetry.Telemetry, now func() sim.Time) {
 			if lat != nil {
 				h = lat[role]
 			}
-			if obs := telemetry.PipelineObserver(h, tr, tel.Detail, now, hz, pid, tid); obs != nil {
+			if obs := telemetry.PipelineObserver(h, tr, sp, tel.Detail, now, hz, pid, tid); obs != nil {
 				p.SetObserver(obs)
 			}
 		}

@@ -17,9 +17,12 @@ import (
 // per-traversal summaries (one complete event per EvDone, plus an instant
 // for each recirculation request); with detail=true every stage visit
 // becomes an instant event — stage occupancy at full resolution, at a
-// large event-volume cost. With both sinks nil the returned observer is
-// nil, keeping the pipeline's unobserved fast path.
-func PipelineObserver(lat *Histogram, tr *Tracer, detail bool, now func() sim.Time, clockHz float64, pid, tid int) pipeline.Observer {
+// large event-volume cost. sp, when non-nil, additionally emits "span"
+// category events — a pipeline-traversal span per EvDone and a
+// recirculation marker — feeding the causal-span layer. With all sinks
+// nil the returned observer is nil, keeping the pipeline's unobserved
+// fast path.
+func PipelineObserver(lat *Histogram, tr *Tracer, sp *Spans, detail bool, now func() sim.Time, clockHz float64, pid, tid int) pipeline.Observer {
 	if lat == nil && tr == nil {
 		return nil
 	}
@@ -40,8 +43,14 @@ func PipelineObserver(lat *Histogram, tr *Tracer, detail bool, now func() sim.Ti
 			}
 			tr.Complete(now(), cycleDur(ev.Cycles), "traversal", "pipeline", pid, tid,
 				map[string]any{"cycles": ev.Cycles, "verdict": ev.Verdict.String()})
+			if sp != nil {
+				sp.Complete(now(), cycleDur(ev.Cycles), BucketPipeline.String(), sp.NewSpan(), 0, 0)
+			}
 			if ev.Verdict == pipeline.VerdictRecirculate {
 				tr.Instant(now(), "recirculate", "pipeline", pid, tid, nil)
+				if sp != nil {
+					sp.Instant(now(), BucketRecirculation.String(), sp.NewSpan(), 0, 0)
+				}
 			}
 		case pipeline.EvStage:
 			if tr != nil && detail {
@@ -79,9 +88,11 @@ func InstrumentTM(reg *Registry, t *tm.SharedMemoryTM, base []Label, which strin
 // per-packet queueing delay into histogram wait (valid dequeues only —
 // requires the TM to carry a clock via SetClock), tail drops as instant
 // trace events, and — with detail — an occupancy counter sample per
-// operation (a Perfetto counter track). Any sink may be nil; with all nil
+// operation (a Perfetto counter track). sp, when non-nil, emits a "span"
+// category queueing span for every timed dequeue (the packet's residence
+// in the traffic manager). Any sink may be nil; with all nil
 // the returned observer is nil, so the TM keeps its unobserved fast path.
-func TMObserver(g *Gauge, wait *Histogram, tr *Tracer, detail bool, now func() sim.Time, name string, pid, tid int) tm.Observer {
+func TMObserver(g *Gauge, wait *Histogram, tr *Tracer, sp *Spans, detail bool, now func() sim.Time, name string, pid, tid int) tm.Observer {
 	if g == nil && wait == nil && tr == nil {
 		return nil
 	}
@@ -91,6 +102,9 @@ func TMObserver(g *Gauge, wait *Histogram, tr *Tracer, detail bool, now func() s
 		}
 		if wait != nil && ev.Op == tm.OpDequeue && ev.WaitPs >= 0 {
 			wait.Observe(float64(ev.WaitPs))
+			if sp != nil && ev.WaitPs > 0 {
+				sp.Complete(now()-sim.Time(ev.WaitPs), sim.Time(ev.WaitPs), BucketQueueing.String(), sp.NewSpan(), 0, 0)
+			}
 		}
 		if tr == nil {
 			return

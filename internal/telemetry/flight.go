@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// FlightRecorder is a bounded, always-on ring of the most recent notable
+// events in a run — packet sends, switch arrivals, retransmits, crashes,
+// deliveries. Unlike the Tracer it never grows and is cheap enough to
+// leave on in every instrumented run: recording is one mutex'd index
+// write of a fixed-size struct, with no allocation (event names must be
+// static strings).
+//
+// Its sole purpose is post-mortem triage: when the watchdog fires or a
+// conservation/ledger invariant trips, Dump writes the ring — the last
+// thing the simulation did before going wrong — to stderr or a file,
+// turning a bare "event budget exceeded" into an actionable trail.
+//
+// The recorder is shared across parallel sweep workers (it is diagnostic
+// state, not a deterministic export, so it is exempt from hub merging);
+// hence the mutex.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []FlightEvent
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// FlightEvent is one fixed-size ring entry. Ev must be a static string;
+// A and B are event-specific operands (typically coflow/uid and a port
+// or count).
+type FlightEvent struct {
+	TS sim.Time
+	Ev string
+	A  int64
+	B  int64
+}
+
+// DefaultFlightEvents is the ring capacity used for cap <= 0.
+const DefaultFlightEvents = 512
+
+// NewFlightRecorder returns a recorder holding the last cap events
+// (DefaultFlightEvents when cap <= 0).
+func NewFlightRecorder(cap int) *FlightRecorder {
+	if cap <= 0 {
+		cap = DefaultFlightEvents
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, cap)}
+}
+
+// Record appends one event, overwriting the oldest when full. Nil-safe.
+func (f *FlightRecorder) Record(ts sim.Time, ev string, a, b int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = FlightEvent{TS: ts, Ev: ev, A: a, B: b}
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrapped = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wrapped {
+		return len(f.ring)
+	}
+	return f.next
+}
+
+// Total returns how many events were ever recorded.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events returns the held events oldest-first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+func (f *FlightRecorder) eventsLocked() []FlightEvent {
+	if !f.wrapped {
+		return append([]FlightEvent(nil), f.ring[:f.next]...)
+	}
+	out := make([]FlightEvent, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Dump writes the ring oldest-first as a human-readable table, headed by
+// the trigger reason. Nil-safe; does nothing on a nil recorder.
+func (f *FlightRecorder) Dump(w io.Writer, reason string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	evs := f.eventsLocked()
+	total := f.total
+	f.mu.Unlock()
+	fmt.Fprintf(w, "flight recorder dump (%s): last %d of %d events\n", reason, len(evs), total)
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  t=%dps %-20s a=%d b=%d\n", int64(ev.TS), ev.Ev, ev.A, ev.B)
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChainAdvanceTilesTimeExactly(t *testing.T) {
+	c := NewChain(100, 7, nil, 0)
+	c.Advance(150, BucketQueueing)
+	c.Advance(150, BucketSerialization) // no-op: to == cursor
+	c.Advance(140, BucketRetx)          // no-op: to < cursor
+	c.Advance(300, BucketSerialization)
+	c.Advance(450, BucketPropagation)
+	bd := c.Breakdown()
+	if got, want := bd.Get(BucketQueueing), sim.Time(50); got != want {
+		t.Fatalf("queueing = %v, want %v", got, want)
+	}
+	if got, want := bd.Get(BucketSerialization), sim.Time(150); got != want {
+		t.Fatalf("serialization = %v, want %v", got, want)
+	}
+	if got, want := bd.Sum(), c.Cursor()-c.Start(); got != want {
+		t.Fatalf("sum %v != cursor-start %v (tiling broken)", got, want)
+	}
+	if bd.Get(BucketRetx) != 0 {
+		t.Fatalf("backwards advance charged retx: %v", bd.Get(BucketRetx))
+	}
+}
+
+func TestChainForkIsolatesBranches(t *testing.T) {
+	c := NewChain(0, 1, nil, 0)
+	c.Advance(10, BucketQueueing)
+	f := c.Fork()
+	c.Advance(30, BucketRetx)
+	f.Advance(25, BucketPipeline)
+	if got := f.Breakdown().Get(BucketRetx); got != 0 {
+		t.Fatalf("fork saw parent's post-fork retx: %v", got)
+	}
+	if got := c.Breakdown().Get(BucketPipeline); got != 0 {
+		t.Fatalf("parent saw fork's pipeline: %v", got)
+	}
+	if got, want := f.Breakdown().Get(BucketQueueing), sim.Time(10); got != want {
+		t.Fatalf("fork lost pre-fork history: %v != %v", got, want)
+	}
+}
+
+func TestNilChainIsNoOp(t *testing.T) {
+	var c *Chain
+	c.Advance(10, BucketQueueing) // must not panic
+	if c.Fork() != nil {
+		t.Fatal("nil fork should stay nil")
+	}
+	if c.Breakdown().Sum() != 0 {
+		t.Fatal("nil breakdown should be zero")
+	}
+}
+
+func TestSpansEmitLineageOntoTracer(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("test")
+	sp := NewSpans(tr, pid, tr.NewThread(pid, "spans"))
+	root := sp.NewSpan()
+	c := NewChain(1000, 42, sp, root)
+	c.Advance(1500, BucketSerialization)
+	f := c.Fork()
+	f.Advance(2000, BucketPipeline)
+
+	var span, other int
+	for _, ev := range tr.Events() {
+		if ev.Cat == "span" {
+			span++
+			if !strings.HasPrefix(ev.Name, "span.") {
+				t.Fatalf("span event named %q", ev.Name)
+			}
+			if ev.Args["coflow"] != uint32(42) {
+				t.Fatalf("span event lost coflow: %v", ev.Args)
+			}
+		} else if ev.Ph != PhaseMetadata {
+			other++
+		}
+	}
+	// packet instant + serialization + fork's packet instant + pipeline.
+	if span != 4 {
+		t.Fatalf("got %d span events, want 4", span)
+	}
+	if other != 0 {
+		t.Fatalf("%d non-span, non-metadata events leaked", other)
+	}
+}
+
+func TestWriteChromeTraceCatFilters(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("p")
+	tid := tr.NewThread(pid, "t")
+	tr.Instant(1, "keep", "span", pid, tid, nil)
+	tr.Instant(2, "drop", "net", pid, tid, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceCat(&buf, "span"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"keep"`) || strings.Contains(out, `"drop"`) {
+		t.Fatalf("category filter failed: %s", out)
+	}
+	if !strings.Contains(out, "process_name") {
+		t.Fatalf("metadata events must survive filtering: %s", out)
+	}
+	buf.Reset()
+	if err := tr.WriteJSONLCat(&buf, "span"); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 { // 2 metadata + keep + trailer
+		t.Fatalf("jsonl filter wrote %d lines, want 4: %s", lines, buf.String())
+	}
+}
+
+func TestFlightRecorderRingWrapsAndDumps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(sim.Time(i), "ev", int64(i), 0)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	evs := f.Events()
+	if evs[0].A != 6 || evs[3].A != 9 {
+		t.Fatalf("ring not oldest-first: %+v", evs)
+	}
+	var buf bytes.Buffer
+	f.Dump(&buf, "test trigger")
+	out := buf.String()
+	if !strings.Contains(out, "flight recorder dump (test trigger): last 4 of 10 events") {
+		t.Fatalf("dump header wrong: %s", out)
+	}
+	if !strings.Contains(out, "t=9ps") {
+		t.Fatalf("dump lost newest event: %s", out)
+	}
+	var nilRec *FlightRecorder
+	nilRec.Record(0, "x", 0, 0) // must not panic
+	nilRec.Dump(&buf, "nil")
+}

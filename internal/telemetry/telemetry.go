@@ -47,6 +47,11 @@ type Telemetry struct {
 	// Detail enables high-volume trace events (per-stage pipeline events
 	// rather than only per-traversal summaries).
 	Detail bool
+	// Flight, when non-nil, is a bounded always-on ring of the most
+	// recent notable events, dumped for post-mortem triage when a
+	// watchdog fires or a conservation invariant trips. It is shared
+	// across parallel workers (diagnostic state, exempt from merging).
+	Flight *FlightRecorder
 }
 
 // procHub is the process-wide hub installed by WithDefault; goHubs maps
@@ -88,9 +93,11 @@ func Hub() *Telemetry {
 	return procHub.Load()
 }
 
-// Enabled reports whether t carries at least one sink.
+// Enabled reports whether t carries at least one sink. A flight recorder
+// counts: it needs the same instrumentation hooks even when no exportable
+// sink is attached.
 func (t *Telemetry) Enabled() bool {
-	return t != nil && (t.Metrics != nil || t.Tracer != nil)
+	return t != nil && (t.Metrics != nil || t.Tracer != nil || t.Flight != nil)
 }
 
 // Trace returns the tracer, or nil. Safe on a nil receiver, so call sites
@@ -108,6 +115,14 @@ func (t *Telemetry) Reg() *Registry {
 		return nil
 	}
 	return t.Metrics
+}
+
+// Rec returns the flight recorder, or nil. Safe on a nil receiver.
+func (t *Telemetry) Rec() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.Flight
 }
 
 // Samp returns the sampler, or nil. Safe on a nil receiver.

@@ -181,7 +181,13 @@ type jsonlEvent struct {
 
 // WriteJSONL writes one JSON object per line, in emission order, followed
 // by a trailer line recording the drop count.
-func (t *Tracer) WriteJSONL(w io.Writer) error {
+func (t *Tracer) WriteJSONL(w io.Writer) error { return t.WriteJSONLCat(w, "") }
+
+// WriteJSONLCat is WriteJSONL restricted to events of category cat
+// (metadata events are always kept so tracks stay named); cat == ""
+// keeps everything. The trailer's event count reflects the written
+// subset.
+func (t *Tracer) WriteJSONLCat(w io.Writer, cat string) error {
 	if t == nil {
 		return nil
 	}
@@ -189,7 +195,11 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	defer t.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	written := 0
 	for _, ev := range t.events {
+		if cat != "" && ev.Cat != cat && ev.Ph != PhaseMetadata {
+			continue
+		}
 		je := jsonlEvent{
 			TSPs: int64(ev.TS), DurPs: int64(ev.Dur), Ph: string(rune(ev.Ph)),
 			Name: ev.Name, Cat: ev.Cat, PID: ev.PID, TID: ev.TID, Args: ev.Args,
@@ -197,8 +207,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		if err := enc.Encode(je); err != nil {
 			return err
 		}
+		written++
 	}
-	trailer := map[string]any{"ph": "trailer", "events": len(t.events), "dropped": t.dropped}
+	trailer := map[string]any{"ph": "trailer", "events": written, "dropped": t.dropped}
 	if err := enc.Encode(trailer); err != nil {
 		return err
 	}
@@ -232,22 +243,36 @@ func psToUs(t sim.Time) float64 { return float64(t) / 1e6 }
 // WriteChromeTrace writes the buffered events in Chrome trace-event format
 // (the JSON-object flavor), loadable in Perfetto (ui.perfetto.dev) and
 // chrome://tracing. Timestamps are simulated microseconds.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+func (t *Tracer) WriteChromeTrace(w io.Writer) error { return t.WriteChromeTraceCat(w, "") }
+
+// WriteChromeTraceCat is WriteChromeTrace restricted to events of
+// category cat (metadata events are always kept so process/thread tracks
+// stay named); cat == "" keeps everything.
+func (t *Tracer) WriteChromeTraceCat(w io.Writer, cat string) error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	events := t.events
+	if cat != "" {
+		events = make([]TraceEvent, 0, len(t.events))
+		for _, ev := range t.events {
+			if ev.Cat == cat || ev.Ph == PhaseMetadata {
+				events = append(events, ev)
+			}
+		}
+	}
 	ct := chromeTrace{
 		DisplayTimeUnit: "ns",
-		TraceEvents:     make([]chromeEvent, 0, len(t.events)),
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
 		OtherData: map[string]any{
 			"clock":   "simulated",
-			"events":  len(t.events),
+			"events":  len(events),
 			"dropped": fmt.Sprintf("%d", t.dropped),
 		},
 	}
-	for _, ev := range t.events {
+	for _, ev := range events {
 		ce := chromeEvent{
 			Name: ev.Name, Cat: ev.Cat, Ph: string(rune(ev.Ph)),
 			TS: psToUs(ev.TS), PID: ev.PID, TID: ev.TID, Args: ev.Args,
