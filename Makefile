@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-check soak experiments tables examples cover clean ci docs-check
+.PHONY: all build test race bench bench-check perf soak experiments tables examples cover clean ci docs-check
 
 all: build test
 
@@ -22,14 +22,28 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Regenerate the experiment headlines the benchmarks record and compare
-# them against the committed baseline (±20%). The underlying experiments
-# are deterministic, so in practice any drift means the model changed;
-# refresh the baseline intentionally with:
+# them against the committed baseline (deterministic exp.* series: ±20%;
+# wall-clock perf.* series: directional, ±50%, see cmd/benchcheck). The
+# underlying experiments are deterministic, so in practice any exp.* drift
+# means the model changed; refresh the baseline intentionally with:
 #   BENCH_JSON=bench_baseline.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
-BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth|BenchmarkSpanOverhead
+BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth|BenchmarkSpanOverhead|BenchmarkPerfOverhead
 bench-check:
 	BENCH_JSON=/tmp/bench_current.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
-	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20
+	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20 -perf-tol 0.5
+
+# Measure the wall-clock performance plane on a representative run and
+# leave the machine-readable document in perf.json (CI uploads it as an
+# artifact). The stderr one-liner is the human digest; the baseline table
+# in docs/PERFORMANCE.md is refreshed from this output.
+PERF_JSON ?= perf.json
+perf:
+	go run ./cmd/adcpsim -exp saturation,failover,cachehit -perf-json $(PERF_JSON)
+	@python3 -c 'import json; d = json.load(open("$(PERF_JSON)")); \
+		m = {x["name"]: x["value"] for x in d["metrics"] if not x.get("labels")}; \
+		print("events/s: %.3g  allocs/event: %.2f  peak heap: %.1f MiB" % ( \
+		m["perf.run.events_per_s"], m["perf.run.allocs_per_event"], \
+		m["perf.mem.heap_peak_bytes"]/2**20))'
 
 # Chaos soak: random fault plans (loss, corruption, link-down windows,
 # host crashes, switch stalls) against the network with recovery enabled;

@@ -36,6 +36,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/perf"
 	"repro/internal/rmt"
 	"repro/internal/sim"
 	"repro/internal/swswitch"
@@ -538,5 +539,57 @@ func BenchmarkSpanOverhead(b *testing.B) {
 		reg.Set("exp.spanoverhead.span_events", float64(spanEvents))
 		reg.Set("exp.spanoverhead.attr_sum_ps", float64(attrSum))
 		reg.Set("exp.spanoverhead.cct_ps", float64(cct))
+	}
+}
+
+// BenchmarkPerfOverhead pins the cost of the wall-clock perf plane on the
+// saturation workload. "off" is the default: netsim asks for the active
+// plane once per network build, no dispatch hook is installed, and the
+// per-event cost is zero; "on" enables the plane, so every engine carries
+// a dispatch meter that counts events and samples the clock once per
+// 1024-event window (<2% overhead is the design target). The wall-clock
+// facts land as perf.* series for benchcheck's directional gates —
+// events/s may only fall so far, allocs/event may only rise so far, the
+// on/off ratio is informational — while the meter's flushed event count is
+// deterministic (window-granular, independent of machine and pool width)
+// and is pinned exactly as exp.perfoverhead.meter_events.
+func BenchmarkPerfOverhead(b *testing.B) {
+	sat := func() {
+		if _, _, err := experiments.Saturation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var offS, onS float64
+	b.Run("off", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sat()
+		}
+		offS = time.Since(start).Seconds() / float64(b.N)
+	})
+	var totals perf.Totals
+	b.Run("on", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			p := perf.Enable()
+			sat()
+			totals = p.Totals()
+			perf.Disable()
+		}
+		onS = time.Since(start).Seconds() / float64(b.N)
+		if offS > 0 {
+			b.ReportMetric(onS/offS, "on/off-wall")
+		}
+		b.ReportMetric(totals.EventsPerSec, "events/s")
+		b.ReportMetric(totals.AllocsPerEvent, "allocs/event")
+	})
+	if reg := telemetry.Hub().Reg(); reg != nil {
+		reg.Set("exp.perfoverhead.meter_events", float64(totals.Events))
+		reg.Set("perf.bench.events_per_s", totals.EventsPerSec)
+		reg.Set("perf.bench.allocs_per_event", totals.AllocsPerEvent)
+		reg.Set("perf.bench.bytes_per_event", totals.BytesPerEvent)
+		if offS > 0 {
+			reg.Set("perf.bench.overhead_ratio", onS/offS)
+		}
 	}
 }

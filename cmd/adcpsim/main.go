@@ -11,7 +11,11 @@
 // With -metrics, every experiment's headline numbers are exported as one
 // deterministic JSON document (byte-identical across runs). With -trace,
 // the instrumented simulation paths emit sim-time events in Chrome
-// trace-event format, viewable at ui.perfetto.dev. See docs/OBSERVABILITY.md.
+// trace-event format, viewable at ui.perfetto.dev. With -perf-json, the
+// wall-clock performance plane (events/s, allocations, pool utilization)
+// is written as a separate adcp-perf/1 document — machine-dependent by
+// nature and deliberately segregated from the deterministic exports.
+// See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -21,12 +25,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -89,8 +97,15 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	parallelN := fs.Int("parallel", runtime.NumCPU(), "worker-pool width for sweep points (1 = sequential; output bytes are identical at any width)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+	perfJSON := fs.String("perf-json", "", "write the wall-clock perf plane (events/s, allocations, pool utilization) as JSON to this file ('-' = stdout)")
+	version := fs.Bool("version", false, "print the build identity (module version, VCS revision) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *version {
+		fmt.Fprintln(stdout, perf.Build().String())
+		return 0
 	}
 
 	if *list || *expFlag == "" {
@@ -147,22 +162,43 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			sim.Time(*sampleIntervalUS)*sim.Microsecond, *sampleCap)
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
-			f.Close()
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	// The wall-clock perf plane is the hub's machine-dependent counterpart:
+	// it meters how fast the simulator itself runs (events/s, allocations,
+	// pool utilization) in a registry of its own, so the deterministic
+	// exports above stay byte-identical whether it is on or off.
+	var perfPlane *perf.Plane
+	if *perfJSON != "" || *serveAddr != "" {
+		perfPlane = perf.Enable()
+		defer perf.Disable()
 	}
+
+	prof := &profiler{memPath: *memProfile, stderr: stderr}
+	if *cpuProfile != "" {
+		if err := prof.startCPU(*cpuProfile); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer prof.stopCPU()
+	}
+
+	// SIGINT/SIGTERM kill the process without running deferred teardown,
+	// which used to leave -cpuprofile truncated and -memprofile never
+	// written. Catch them: flush both profiles, dump the flight recorder's
+	// last simulation events, and exit non-zero.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() { signal.Stop(sigc); close(sigc) }()
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "adcpsim: caught %v, flushing profiles\n", sig)
+		prof.stopCPU()
+		prof.writeMem()
+		tel.Rec().Dump(stderr, fmt.Sprintf("signal %v", sig))
+		os.Exit(1)
+	}()
 
 	var selected []string
 	for _, e := range exps {
@@ -202,7 +238,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	// When any export streams to stdout ('-'), the experiment tables move
 	// to stderr so the piped stream carries only the export document.
 	tableOut := stdout
-	for _, p := range []string{*metricsPath, *tracePath, *traceJSONLPath, *spansPath, *samplesCSV, *samplesJSON, *reportPath} {
+	for _, p := range []string{*metricsPath, *tracePath, *traceJSONLPath, *spansPath, *samplesCSV, *samplesJSON, *reportPath, *perfJSON} {
 		if p == "-" {
 			tableOut = stderr
 			break
@@ -241,7 +277,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "running %s...\n", e.name)
 			}
 			srv.markRunning(e.name)
-			err := runWatched(runCtx, e, tableOut, stderr, *expBudget, tel.Rec())
+			err := runWatched(runCtx, e, tableOut, stderr, *expBudget, tel.Rec(), prof)
 			srv.markDone(e.name, err != nil)
 			srv.publish(tel.Reg())
 			if err != nil {
@@ -259,17 +295,18 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *memProfile != "" {
-		if code := writeMemProfile(*memProfile, stderr); code != 0 {
-			return code
-		}
+	if code := prof.writeMem(); code != 0 {
+		return code
+	}
+	if perfPlane != nil {
+		fmt.Fprintln(stderr, perfPlane.Summary())
 	}
 	paths := outputPaths{
 		metrics: *metricsPath, trace: *tracePath, traceJSONL: *traceJSONLPath,
 		spans: *spansPath, samplesCSV: *samplesCSV, samplesJSON: *samplesJSON,
-		report: *reportPath, title: "adcpsim -exp " + *expFlag,
+		report: *reportPath, title: "adcpsim -exp " + *expFlag, perfJSON: *perfJSON,
 	}
-	if code := writeOutputs(tel, paths, stdout, stderr); code != 0 {
+	if code := writeOutputs(tel, perfPlane, paths, stdout, stderr); code != 0 {
 		return code
 	}
 	if len(failed) > 0 {
@@ -283,32 +320,88 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 // deadline context. With a background context and no event budget it
 // degenerates to a plain call (experiments.Run never trips), so the
 // default CLI behavior is unchanged.
-func runWatched(ctx context.Context, e experiment, stdout, stderr io.Writer, budget uint64, fr *telemetry.FlightRecorder) error {
+func runWatched(ctx context.Context, e experiment, stdout, stderr io.Writer, budget uint64, fr *telemetry.FlightRecorder, prof *profiler) error {
 	err := experiments.Run(ctx, e.name, budget, func() error { return e.run(stdout) })
 	var we *experiments.WatchdogError
 	if errors.As(err, &we) {
 		// A tripped watchdog abandoned the experiment goroutine mid-write;
 		// flag the output as truncated so a partial table is not mistaken
-		// for a complete one, and dump the flight-recorder ring so the last
-		// simulation events before the kill are on record.
+		// for a complete one. Flush the profiles first — a watchdog kill is
+		// usually followed by the harness tearing the process down, and a
+		// CPU profile of the hang is exactly the artifact worth keeping —
+		// then dump the flight-recorder ring so the last simulation events
+		// before the kill are on record.
 		fmt.Fprintf(stdout, "\n[experiment %s killed by watchdog: output above may be truncated]\n", e.name)
+		prof.stopCPU()
+		prof.writeMem()
 		fr.Dump(stderr, we.Error())
 	}
 	return err
 }
 
-// writeMemProfile snapshots the heap (after a GC, so the profile reflects
-// live objects rather than garbage) into path.
-func writeMemProfile(path string, stderr io.Writer) int {
+// profiler owns the -cpuprofile/-memprofile lifecycle. Stop and write are
+// idempotent and safe from any goroutine, because they must run from
+// whichever path ends the run first: the normal deferred teardown, the
+// watchdog-kill path, or the signal handler — a plain deferred
+// StopCPUProfile never runs on SIGINT/SIGTERM, which used to leave killed
+// runs with truncated CPU profiles and no heap profile at all.
+type profiler struct {
+	mu      sync.Mutex
+	cpu     *os.File
+	memPath string
+	memDone bool
+	stderr  io.Writer
+}
+
+func (p *profiler) startCPU(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(stderr, "memprofile: %v\n", err)
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.mu.Lock()
+	p.cpu = f
+	p.mu.Unlock()
+	return nil
+}
+
+// stopCPU flushes and closes the CPU profile, once; later calls are no-ops.
+func (p *profiler) stopCPU() {
+	p.mu.Lock()
+	f := p.cpu
+	p.cpu = nil
+	p.mu.Unlock()
+	if f == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+}
+
+// writeMem snapshots the heap (after a GC, so the profile reflects live
+// objects rather than garbage) into -memprofile, once; later calls are
+// no-ops. Returns a process exit code.
+func (p *profiler) writeMem() int {
+	p.mu.Lock()
+	path := p.memPath
+	done := p.memDone
+	p.memDone = true
+	p.mu.Unlock()
+	if path == "" || done {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(p.stderr, "memprofile: %v\n", err)
 		return 1
 	}
 	defer f.Close()
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintf(stderr, "memprofile: %v\n", err)
+		fmt.Fprintf(p.stderr, "memprofile: %v\n", err)
 		return 1
 	}
 	return 0
@@ -318,13 +411,13 @@ func writeMemProfile(path string, stderr io.Writer) int {
 type outputPaths struct {
 	metrics, trace, traceJSONL, spans string
 	samplesCSV, samplesJSON           string
-	report, title                     string
+	report, title, perfJSON           string
 }
 
 // writeOutputs serializes the telemetry sinks to the requested files. A
 // path of "-" writes to stdout instead, so exports can be piped straight
 // into jq or a plotting script without touching disk.
-func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stdout, stderr io.Writer) int {
+func writeOutputs(tel *telemetry.Telemetry, plane *perf.Plane, p outputPaths, stdout, stderr io.Writer) int {
 	write := func(path, what string, fn func(io.Writer) error) int {
 		w := stdout
 		if path != "-" {
@@ -376,12 +469,21 @@ func writeOutputs(tel *telemetry.Telemetry, p outputPaths, stdout, stderr io.Wri
 			return c
 		}
 	}
+	if p.perfJSON != "" && plane != nil {
+		if c := write(p.perfJSON, "perf-json", plane.WriteJSON); c != 0 {
+			return c
+		}
+	}
 	if p.report != "" {
 		rep := report.Report{
 			Title:      p.title,
 			Snapshot:   tel.Metrics.Snapshot(),
 			Series:     tel.Sampler.Series(),
 			IntervalPs: int64(tel.Sampler.Interval()),
+		}
+		if plane != nil {
+			doc := plane.Document()
+			rep.Perf = &doc
 		}
 		if c := write(p.report, "report", func(w io.Writer) error { return report.Write(w, rep) }); c != 0 {
 			return c

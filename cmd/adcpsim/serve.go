@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -24,8 +25,9 @@ import (
 // Endpoints:
 //
 //	/metrics   Prometheus text exposition of the latest published snapshot
-//	/healthz   liveness probe ("ok")
+//	/healthz   liveness probe: JSON status plus the binary's build identity
 //	/progress  JSON per-experiment state with wall and simulated time
+//	/perf      wall-clock perf plane document (events/s, allocations, pool)
 //	/debug/pprof/...  standard pprof handlers
 type obsServer struct {
 	ln      net.Listener
@@ -101,8 +103,23 @@ func startServer(addr string, tel *telemetry.Telemetry, expNames []string) (*obs
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Status string         `json:"status"`
+			Build  perf.BuildInfo `json:"build"`
+		}{Status: "ok", Build: perf.Build()})
+	})
+	// The perf document is wall-clock data read from atomics and a
+	// mutex-guarded memstats cache, so unlike /metrics it can snapshot the
+	// live plane from the request goroutine while experiments run.
+	mux.HandleFunc("/perf", func(w http.ResponseWriter, r *http.Request) {
+		p := perf.Active()
+		if p == nil {
+			http.Error(w, "perf plane disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		p.WriteJSON(w)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -6,9 +6,18 @@
 // regressions early; the experiments are deterministic, so any drift at
 // all means the model's numbers changed.
 //
+// Series named perf.* are the exception: they carry wall-clock performance
+// numbers (events/s, allocs/event) that vary run to run, so they get
+// directional gates with their own, much looser tolerance (-perf-tol)
+// instead of the exact band. Throughput series (suffix "_per_s") only fail
+// when they FALL below the baseline band — getting faster is never a
+// regression — and per-event cost series (containing "per_event") only
+// fail when they RISE above it. Other perf.* series are informational and
+// never gate.
+//
 // Usage:
 //
-//	benchcheck -baseline bench_baseline.json -current BENCH.json [-tol 0.20]
+//	benchcheck -baseline bench_baseline.json -current BENCH.json [-tol 0.20] [-perf-tol 0.5]
 package main
 
 import (
@@ -34,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "bench_baseline.json", "committed baseline snapshot")
 	currentPath := fs.String("current", "", "freshly produced snapshot to check")
 	tol := fs.Float64("tol", 0.20, "allowed relative drift per series")
+	perfTol := fs.Float64("perf-tol", 0.5, "allowed relative drift for wall-clock perf.* series (directional)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,9 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	regressions := compare(base, cur, *tol)
-	fmt.Fprintf(stdout, "benchcheck: %d baseline series, %d current series, tol %.0f%%\n",
-		len(base.Metrics), len(cur.Metrics), *tol*100)
+	regressions := compare(base, cur, *tol, *perfTol)
+	fmt.Fprintf(stdout, "benchcheck: %d baseline series, %d current series, tol %.0f%% (perf %.0f%%)\n",
+		len(base.Metrics), len(cur.Metrics), *tol*100, *perfTol*100)
 	if len(regressions) == 0 {
 		fmt.Fprintln(stdout, "benchcheck: OK")
 		return 0
@@ -96,10 +106,40 @@ func seriesKey(m telemetry.MetricSnapshot) string {
 	return b.String()
 }
 
+// gate classifies how a baseline series is compared against the current
+// run.
+type gate int
+
+const (
+	gateExact   gate = iota // deterministic series: symmetric relative band
+	gateFloor               // throughput: regression only when it falls
+	gateCeiling             // per-event cost: regression only when it rises
+	gateNone                // informational wall-clock series: never gates
+)
+
+// gateFor picks the gate from the series name. Deterministic exp.* series
+// keep the exact band; wall-clock perf.* series gate directionally on the
+// quantities the ROADMAP's speed items move (events/s up, allocs/event
+// down) and are otherwise informational.
+func gateFor(name string) gate {
+	if !strings.HasPrefix(name, "perf.") {
+		return gateExact
+	}
+	switch {
+	case strings.HasSuffix(name, "_per_s"):
+		return gateFloor
+	case strings.Contains(name, "per_event"):
+		return gateCeiling
+	default:
+		return gateNone
+	}
+}
+
 // compare returns one message per baseline series that is missing from cur
-// or whose value drifted beyond tol. Series only in cur are fine — new
-// instrumentation must not fail the gate.
-func compare(base, cur telemetry.Snapshot, tol float64) []string {
+// or whose value drifted beyond its gate's tolerance (tol for exact
+// series, perfTol for directional perf.* series). Series only in cur are
+// fine — new instrumentation must not fail the gate.
+func compare(base, cur telemetry.Snapshot, tol, perfTol float64) []string {
 	curBy := make(map[string]telemetry.MetricSnapshot, len(cur.Metrics))
 	for _, m := range cur.Metrics {
 		curBy[seriesKey(m)] = m
@@ -107,14 +147,31 @@ func compare(base, cur telemetry.Snapshot, tol float64) []string {
 	var out []string
 	for _, bm := range base.Metrics {
 		k := seriesKey(bm)
+		g := gateFor(bm.Name)
+		if g == gateNone {
+			continue
+		}
 		cm, ok := curBy[k]
 		if !ok {
 			out = append(out, fmt.Sprintf("%s: missing from current run", k))
 			continue
 		}
-		if !within(bm.Value, cm.Value, tol) {
-			out = append(out, fmt.Sprintf("%s: baseline %g, current %g (drift %.1f%%, tol %.0f%%)",
-				k, bm.Value, cm.Value, drift(bm.Value, cm.Value)*100, tol*100))
+		switch g {
+		case gateExact:
+			if !within(bm.Value, cm.Value, tol) {
+				out = append(out, fmt.Sprintf("%s: baseline %g, current %g (drift %.1f%%, tol %.0f%%)",
+					k, bm.Value, cm.Value, drift(bm.Value, cm.Value)*100, tol*100))
+			}
+		case gateFloor:
+			if cm.Value < bm.Value*(1-perfTol) {
+				out = append(out, fmt.Sprintf("%s: fell to %g from baseline %g (floor %g at perf-tol %.0f%%)",
+					k, cm.Value, bm.Value, bm.Value*(1-perfTol), perfTol*100))
+			}
+		case gateCeiling:
+			if cm.Value > bm.Value*(1+perfTol) {
+				out = append(out, fmt.Sprintf("%s: rose to %g from baseline %g (ceiling %g at perf-tol %.0f%%)",
+					k, cm.Value, bm.Value, bm.Value*(1+perfTol), perfTol*100))
+			}
 		}
 	}
 	return out

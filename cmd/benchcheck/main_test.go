@@ -85,6 +85,74 @@ func TestBenchcheckZeroBaseline(t *testing.T) {
 	}
 }
 
+// perf.* series gate directionally: throughput may only fall so far,
+// per-event cost may only rise so far, and improvement in the good
+// direction is never a regression no matter how large.
+func TestBenchcheckPerfGates(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json",
+		`{"name":"perf.bench.events_per_s","kind":"value","value":1000},{"name":"perf.bench.allocs_per_event","kind":"value","value":10}`)
+
+	// 10x faster and allocation-free: both moved in the good direction.
+	better := writeDoc(t, dir, "better.json",
+		`{"name":"perf.bench.events_per_s","kind":"value","value":10000},{"name":"perf.bench.allocs_per_event","kind":"value","value":0}`)
+	if code, _, errw := runCheck(t, "-baseline", base, "-current", better); code != 0 {
+		t.Errorf("improvement flagged as regression: exit %d, stderr %q", code, errw)
+	}
+
+	// Throughput fell below the 50% floor.
+	slow := writeDoc(t, dir, "slow.json",
+		`{"name":"perf.bench.events_per_s","kind":"value","value":400},{"name":"perf.bench.allocs_per_event","kind":"value","value":10}`)
+	if code, _, errw := runCheck(t, "-baseline", base, "-current", slow); code != 1 || !strings.Contains(errw, "fell") {
+		t.Errorf("throughput drop: exit %d, stderr %q", code, errw)
+	}
+
+	// Per-event allocations rose above the 50% ceiling.
+	leaky := writeDoc(t, dir, "leaky.json",
+		`{"name":"perf.bench.events_per_s","kind":"value","value":1000},{"name":"perf.bench.allocs_per_event","kind":"value","value":16}`)
+	if code, _, errw := runCheck(t, "-baseline", base, "-current", leaky); code != 1 || !strings.Contains(errw, "rose") {
+		t.Errorf("alloc rise: exit %d, stderr %q", code, errw)
+	}
+	// ... but passes with a looser perf tolerance.
+	if code, _, _ := runCheck(t, "-baseline", base, "-current", leaky, "-perf-tol", "0.7"); code != 0 {
+		t.Errorf("alloc rise with -perf-tol 0.7: exit != 0")
+	}
+}
+
+// Informational perf.* series (no _per_s / per_event shape) never gate,
+// even when absent from the current run.
+func TestBenchcheckPerfInformational(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json",
+		`{"name":"perf.bench.overhead_ratio","kind":"value","value":1.0},{"name":"perf.pool.merge_stall_s","kind":"value","value":0.5}`)
+	cur := writeDoc(t, dir, "cur.json",
+		`{"name":"perf.bench.overhead_ratio","kind":"value","value":99}`)
+	if code, _, errw := runCheck(t, "-baseline", base, "-current", cur); code != 0 {
+		t.Errorf("informational perf series gated: exit %d, stderr %q", code, errw)
+	}
+}
+
+func TestGateFor(t *testing.T) {
+	cases := []struct {
+		name string
+		want gate
+	}{
+		{"exp.table1.cct_ratio", gateExact},
+		{"switch.delivered_pkts", gateExact},
+		{"perf.bench.events_per_s", gateFloor},
+		{"perf.run.events_per_s", gateFloor},
+		{"perf.bench.allocs_per_event", gateCeiling},
+		{"perf.bench.bytes_per_event", gateCeiling},
+		{"perf.bench.overhead_ratio", gateNone},
+		{"perf.mem.heap_peak_bytes", gateNone},
+	}
+	for _, c := range cases {
+		if got := gateFor(c.name); got != c.want {
+			t.Errorf("gateFor(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestBenchcheckBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	if code, _, _ := runCheck(t); code != 2 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/perf"
 	"repro/internal/sim"
 )
 
@@ -54,7 +55,10 @@ func Run(ctx context.Context, name string, eventBudget uint64, fn func() error) 
 				done <- fmt.Errorf("experiment %s panicked: %v", name, r)
 			}
 		}()
-		done <- fn()
+		// perf.Phase labels CPU-profile samples with exp=<name> and, when
+		// the wall-clock perf plane is enabled, publishes the experiment's
+		// wall time, events/s, and allocation deltas as perf.phase.*.
+		done <- perf.Phase(name, fn)
 	}()
 	select {
 	case err := <-done:

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ha"
 	"repro/internal/packet"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -251,6 +252,10 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 	if tel := telemetry.Hub(); tel.Enabled() {
 		n.instrument(tel)
 	}
+	// The wall-clock perf plane meters every engine's dispatch loop,
+	// independent of the sim-time telemetry hub: throughput must be
+	// measurable on runs with every deterministic export turned off.
+	perf.Attach(n.eng)
 	return n, nil
 }
 

@@ -23,13 +23,18 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/perf"
 	"repro/internal/telemetry"
 )
 
@@ -87,15 +92,23 @@ func Run(points []Point, opt Options) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	// Wall-clock pool observability: when the perf plane is on, each
+	// point's queue wait (pool start → worker pickup) and busy time are
+	// charged to its worker slot, and the run's wall time and merge stall
+	// land in the pool aggregate. pp == nil costs nothing beyond one
+	// atomic load; none of this touches the deterministic telemetry hubs.
+	pp := perf.Active()
+	poolStart := time.Now()
 	if opt.Hub.Trace() != nil {
 		// Trace events cannot be merged across hubs, so run the points
 		// directly under the ambient hub, in order.
 		for i := range points {
-			errs[i] = runPoint(points[i])
+			errs[i] = execPoint(pp, poolStart, points[i], 0)
 			if opt.OnDone != nil {
 				opt.OnDone(i+1, n, points[i].Name, errs[i])
 			}
 		}
+		pp.PoolRun(time.Since(poolStart), 0)
 		return join(points, errs)
 	}
 
@@ -105,7 +118,7 @@ func Run(points []Point, opt Options) error {
 			local := mirror(opt.Hub)
 			hubs[i] = local
 			telemetry.WithHub(local, func() {
-				errs[i] = runPoint(points[i])
+				errs[i] = execPoint(pp, poolStart, points[i], 0)
 			})
 			if opt.OnDone != nil {
 				opt.OnDone(i+1, n, points[i].Name, errs[i])
@@ -117,7 +130,7 @@ func Run(points []Point, opt Options) error {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
@@ -127,7 +140,7 @@ func Run(points []Point, opt Options) error {
 					local := mirror(opt.Hub)
 					hubs[i] = local
 					telemetry.WithHub(local, func() {
-						errs[i] = runPoint(points[i])
+						errs[i] = execPoint(pp, poolStart, points[i], worker)
 					})
 					if opt.OnDone != nil {
 						progressMu.Lock()
@@ -137,18 +150,33 @@ func Run(points []Point, opt Options) error {
 						done.Add(1)
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
 
 	// Deterministic merge: point order, regardless of completion order.
+	mergeStart := time.Now()
 	if opt.Hub != nil {
 		for i := range hubs {
 			telemetry.Merge(opt.Hub, hubs[i])
 		}
 	}
+	pp.PoolRun(time.Since(poolStart), time.Since(mergeStart))
 	return join(points, errs)
+}
+
+// execPoint runs one point under pprof labels naming the sweep point and
+// worker slot — CPU profiles (adcpsim -cpuprofile, /debug/pprof) then
+// attribute samples per point — and, when the perf plane is on, charges
+// the point's queue wait and busy time to the worker.
+func execPoint(pp *perf.Plane, poolStart time.Time, p Point, worker int) (err error) {
+	pickup := time.Now()
+	pprof.Do(context.Background(), pprof.Labels("point", p.Name, "worker", strconv.Itoa(worker)), func(context.Context) {
+		err = runPoint(p)
+	})
+	pp.PoolPoint(worker, pickup.Sub(poolStart), time.Since(pickup))
+	return err
 }
 
 // mirror builds a point-local hub matching the destination's shape: a

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary that produced a perf artifact, so a
+// measured events/s number is attributable to a commit. Fields degrade to
+// "unknown" when the binary was built without module or VCS metadata
+// (e.g. `go test` binaries or a non-git checkout).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`      // module version ("(devel)" for a working tree)
+	Revision  string `json:"vcs_revision"` // VCS commit hash
+	Time      string `json:"vcs_time"`     // commit timestamp
+	Dirty     bool   `json:"vcs_dirty"`    // working tree had local modifications
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process build identity from debug.ReadBuildInfo,
+// computed once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			GoVersion: runtime.Version(),
+			Module:    "unknown",
+			Version:   "unknown",
+			Revision:  "unknown",
+			Time:      "unknown",
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Path != "" {
+			buildInfo.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build identity as one line ("module version@revision
+// (go1.x, dirty)").
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s := fmt.Sprintf("%s %s@%s (%s", b.Module, b.Version, rev, b.GoVersion)
+	if b.Dirty {
+		s += ", dirty"
+	}
+	return s + ")"
+}

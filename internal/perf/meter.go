@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// MeterWindow is how many dispatched events a meter accumulates before it
+// samples the wall clock and flushes into the plane aggregate. The hot
+// path therefore costs one branch, two compares, and two increments per
+// event; time.Now is paid once per window. A power of two keeps the
+// arithmetic trivial for the compiler.
+const MeterWindow = 1024
+
+// Meter is a low-overhead throughput probe on one engine's dispatch loop.
+// It is engine-local (the engine is single-goroutine by contract) and only
+// touches shared plane state at window boundaries, via atomics. Events in
+// an unfinished tail window when the engine stops are never flushed —
+// both the event count and the wall time exclude them, so events/s stays
+// unbiased and the flushed totals stay deterministic for a deterministic
+// simulation (floor(fired/window)·window per engine, independent of
+// worker scheduling).
+type Meter struct {
+	plane *Plane
+
+	n        uint64 // events since last flush
+	last     time.Time
+	haveLast bool
+
+	// Same-timestamp dispatch-batch accounting: a batch is a maximal run
+	// of consecutive events sharing one simulated timestamp — the unit a
+	// batched dispatch loop would hand out at once, so the batch-size
+	// shape tells the ROADMAP's batching refactor what there is to win.
+	lastAt   sim.Time
+	batch    uint64
+	batches  uint64 // completed batches since last flush
+	batchMax uint64
+}
+
+// AttachMeter installs a throughput meter on eng's dispatch loop,
+// reporting into p. No-op on a nil plane or engine.
+func (p *Plane) AttachMeter(eng *sim.Engine) {
+	if p == nil || eng == nil {
+		return
+	}
+	m := &Meter{plane: p}
+	eng.AddDispatchHook(m.hook)
+}
+
+// Attach installs a meter for the active plane; no-op when the plane is
+// off. This is the one-liner construction sites (netsim.New) call.
+func Attach(eng *sim.Engine) { Active().AttachMeter(eng) }
+
+func (m *Meter) hook(at sim.Time, pending int, fired uint64) {
+	if !m.haveLast {
+		m.last = time.Now()
+		m.haveLast = true
+	}
+	if m.batch == 0 {
+		m.batch, m.lastAt = 1, at
+	} else if at == m.lastAt {
+		m.batch++
+	} else {
+		m.closeBatch()
+		m.batch, m.lastAt = 1, at
+	}
+	m.n++
+	if m.n >= MeterWindow {
+		m.flush()
+	}
+}
+
+func (m *Meter) closeBatch() {
+	m.batches++
+	if m.batch > m.batchMax {
+		m.batchMax = m.batch
+	}
+}
+
+// flush samples the wall clock once and folds the finished window into
+// the plane aggregate.
+func (m *Meter) flush() {
+	now := time.Now()
+	m.plane.wallNs.Add(now.Sub(m.last).Nanoseconds())
+	m.plane.events.Add(m.n)
+	m.last = now
+	if m.batches > 0 {
+		m.plane.batches.Add(m.batches)
+	}
+	m.plane.noteBatchMax(m.batchMax)
+	m.n, m.batches, m.batchMax = 0, 0, 0
+}

@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Phase runs fn under the active plane as one named run phase (an
+// experiment, typically): CPU-profile samples taken while fn runs carry a
+// pprof label exp=<name>, and when the plane is enabled the phase's wall
+// time, metered events, and ReadMemStats deltas (allocations, GC work)
+// are published as perf.phase.* series labeled phase=<name>. With the
+// plane off only the profiling label is applied — labeled profiles should
+// not require the perf plane.
+func Phase(name string, fn func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("exp", name), func(context.Context) {
+		err = Active().phase(name, fn)
+	})
+	return err
+}
+
+// phase measures fn as one phase; on a nil plane it degenerates to fn().
+func (p *Plane) phase(name string, fn func() error) error {
+	if p == nil {
+		return fn()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ev0 := p.events.Load()
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	p.memMu.Lock()
+	p.memCache = after
+	p.memMu.Unlock()
+	p.noteHeap(after.HeapAlloc)
+
+	ev := p.events.Load() - ev0
+	d := memDelta(&before, &after)
+	reg := p.reg
+	ls := telemetry.L("phase", name)
+	reg.Set("perf.phase.wall_s", wall.Seconds(), ls)
+	reg.Set("perf.phase.events", float64(ev), ls)
+	reg.Set("perf.phase.allocs", float64(d.Mallocs), ls)
+	reg.Set("perf.phase.alloc_bytes", float64(d.AllocBytes), ls)
+	reg.Set("perf.phase.gc_cycles", float64(d.GCCycles), ls)
+	reg.Set("perf.phase.gc_pause_ns", float64(d.GCPauseNs), ls)
+	if s := wall.Seconds(); s > 0 {
+		reg.Set("perf.phase.events_per_s", float64(ev)/s, ls)
+	}
+	if ev > 0 {
+		reg.Set("perf.phase.allocs_per_event", float64(d.Mallocs)/float64(ev), ls)
+		reg.Set("perf.phase.bytes_per_event", float64(d.AllocBytes)/float64(ev), ls)
+	}
+	return err
+}

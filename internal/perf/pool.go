@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Worker-pool observability: internal/parallel reports each sweep point's
+// queue wait (pool start → worker pickup) and busy time per worker slot,
+// plus per-run wall time and the deterministic-merge stall at the end.
+// Per-worker series are registered lazily the first time a worker index
+// appears; utilization is that worker's cumulative busy time over the
+// cumulative pool wall time, so on a saturated pool it approaches 1 and
+// idle tail-latency slots show up as low-utilization workers.
+
+// PoolPoint records one executed sweep point: the worker slot that ran
+// it, how long the point waited for pickup, and how long it ran. Safe on
+// a nil plane and from concurrent workers.
+func (p *Plane) PoolPoint(worker int, queueWait, busy time.Duration) {
+	if p == nil {
+		return
+	}
+	p.poolPoints.Add(1)
+	p.queueWaitNs.Add(queueWait.Nanoseconds())
+	w := p.workerStats(worker)
+	w.busyNs.Add(busy.Nanoseconds())
+	w.points.Add(1)
+}
+
+// PoolRun records one completed pool run: its total wall time and the
+// portion spent in the deterministic telemetry merge after all points
+// finished. Safe on a nil plane.
+func (p *Plane) PoolRun(wall, mergeStall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.poolRuns.Add(1)
+	p.poolWallNs.Add(wall.Nanoseconds())
+	p.mergeNs.Add(mergeStall.Nanoseconds())
+}
+
+// workerStats returns (registering on first use) the stats slot and
+// perf.pool.worker_* series for one worker index.
+func (p *Plane) workerStats(worker int) *workerStats {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if w, ok := p.workers[worker]; ok {
+		return w
+	}
+	w := &workerStats{}
+	p.workers[worker] = w
+	reg := p.reg
+	label := telemetry.L("worker", strconv.Itoa(worker))
+	reg.ObserveFunc("perf.pool.worker_busy_s", func() float64 { return float64(w.busyNs.Load()) / 1e9 }, label)
+	reg.ObserveFunc("perf.pool.worker_points", func() float64 { return float64(w.points.Load()) }, label)
+	reg.ObserveFunc("perf.pool.worker_util", func() float64 {
+		if wall := p.poolWallNs.Load(); wall > 0 {
+			return float64(w.busyNs.Load()) / float64(wall)
+		}
+		return 0
+	}, label)
+	return w
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/perf"
 	"repro/internal/telemetry"
 )
 
@@ -44,6 +45,11 @@ type Report struct {
 	Series []telemetry.SeriesData
 	// IntervalPs is the sampling period behind Series, for the caption.
 	IntervalPs int64
+	// Perf, when set, adds a wall-clock performance section (events/s,
+	// allocations, pool utilization, build identity). Unlike the rest of
+	// the report this data is machine-dependent, so reports only diff
+	// cleanly across commits when it is absent.
+	Perf *perf.Document
 }
 
 // Write renders the report as one self-contained HTML page.
@@ -64,6 +70,7 @@ func Write(w io.Writer, r Report) error {
 	writeAttribution(&b, r.Snapshot)
 	writeHistTables(&b, r.Snapshot)
 	writeCharts(&b, r.Series)
+	writePerf(&b, r.Perf)
 
 	b.WriteString("</body>\n</html>\n")
 	_, err := io.WriteString(w, b.String())
@@ -281,6 +288,24 @@ func writeSVG(b *strings.Builder, g chartGroup) {
 			palette[i%len(palette)], html.EscapeString(label))
 	}
 	b.WriteString("</p>\n")
+}
+
+// writePerf renders the wall-clock performance plane as one table plus the
+// build identity. Nil doc (plane off) renders nothing, keeping reports
+// deterministic by default.
+func writePerf(b *strings.Builder, doc *perf.Document) {
+	if doc == nil {
+		return
+	}
+	b.WriteString("<h2>Wall-clock performance</h2>\n")
+	fmt.Fprintf(b, "<p class=\"meta\">build: %s · schema %s · machine-dependent, excluded from golden comparisons</p>\n",
+		html.EscapeString(doc.Build.String()), html.EscapeString(doc.Schema))
+	b.WriteString("<table>\n<tr><th>metric</th><th>labels</th><th>value</th></tr>\n")
+	for _, m := range doc.Metrics {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td class=\"num\">%g</td></tr>\n",
+			html.EscapeString(m.Name), html.EscapeString(labelText(m.Labels)), m.Value)
+	}
+	b.WriteString("</table>\n")
 }
 
 // labelText renders a label map as sorted "k=v" pairs.
