@@ -16,6 +16,15 @@
 // is written as a separate adcp-perf/1 document — machine-dependent by
 // nature and deliberately segregated from the deterministic exports.
 // See docs/OBSERVABILITY.md.
+//
+// With -run-dir, the run records a crash-safe journal of every completed
+// experiment and sweep point; -resume replays it after a crash or kill and
+// produces output byte-identical to an uninterrupted run. -point-retries
+// enables the supervised retry plane (bounded retries with seeded backoff,
+// then quarantine). See docs/RESILIENCE.md.
+//
+// Exit codes: 0 success, 1 experiment failure (quarantined points
+// included), 2 usage error, 3 killed by signal, 4 watchdog kill.
 package main
 
 import (
@@ -31,11 +40,14 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/runstate"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -98,8 +110,20 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	perfJSON := fs.String("perf-json", "", "write the wall-clock perf plane (events/s, allocations, pool utilization) as JSON to this file ('-' = stdout)")
+	runDir := fs.String("run-dir", "", "durable run directory: record a crash-safe journal of every completed experiment and sweep point (see docs/RESILIENCE.md)")
+	resume := fs.Bool("resume", false, "resume the journal in -run-dir: completed units replay from it instead of re-running; output is byte-identical to an uninterrupted run")
+	pointRetries := fs.Int("point-retries", 1, "max attempts per sweep point; >1 enables supervised retries with seeded exponential backoff, and a point that exhausts them is quarantined (excluded from the merge, reported, run exits 1)")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "base delay before a sweep-point retry (doubles per attempt, seeded ±50% jitter)")
 	version := fs.Bool("version", false, "print the build identity (module version, VCS revision) and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *resume && *runDir == "" {
+		fmt.Fprintln(stderr, "-resume requires -run-dir")
+		return 2
+	}
+	if *runDir != "" && (*tracePath != "" || *traceJSONLPath != "" || *spansPath != "") {
+		fmt.Fprintln(stderr, "-run-dir is incompatible with -trace/-trace-jsonl/-spans (traces are not journalable)")
 		return 2
 	}
 
@@ -181,10 +205,13 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		defer prof.stopCPU()
 	}
 
-	// SIGINT/SIGTERM kill the process without running deferred teardown,
-	// which used to leave -cpuprofile truncated and -memprofile never
-	// written. Catch them: flush both profiles, dump the flight recorder's
-	// last simulation events, and exit non-zero.
+	// Every way out of the process — normal return, SIGINT/SIGTERM, fatal
+	// export error — funnels through one idempotent ordered teardown:
+	// flush profiles, dump the flight recorder (abnormal exits only),
+	// commit the run journal, drain the server. A bare kill used to leave
+	// -cpuprofile truncated and -memprofile never written.
+	sd := &shutdownPlan{prof: prof, tel: tel, stderr: stderr}
+	defer sd.run("")
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer func() { signal.Stop(sigc); close(sigc) }()
@@ -193,11 +220,9 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 		if !ok {
 			return
 		}
-		fmt.Fprintf(stderr, "adcpsim: caught %v, flushing profiles\n", sig)
-		prof.stopCPU()
-		prof.writeMem()
-		tel.Rec().Dump(stderr, fmt.Sprintf("signal %v", sig))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "adcpsim: caught %v, shutting down\n", sig)
+		sd.run(fmt.Sprintf("signal %v", sig))
+		os.Exit(3)
 	}()
 
 	var selected []string
@@ -206,6 +231,34 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			selected = append(selected, e.name)
 		}
 	}
+
+	// The run journal makes the run durable: every completed experiment
+	// and sweep point commits its output and telemetry under -run-dir, and
+	// -resume replays those units instead of re-running them. The journal
+	// refuses to resume under a different output-affecting configuration.
+	var journal *runstate.Journal
+	if *runDir != "" {
+		j, err := runstate.Open(*runDir, runstate.OpenOptions{
+			Config: configDigest(selected, *sampleIntervalUS, *sampleCap, *expBudget, needReg, needSampler, *traceDetail),
+			Argv:   args,
+			Resume: *resume,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		journal = j
+		sd.journal = j
+		experiments.SetJournal(j)
+		defer experiments.SetJournal(nil)
+	}
+	if *pointRetries > 1 {
+		experiments.SetRetryPolicy(parallel.RetryPolicy{
+			MaxAttempts: *pointRetries, BaseBackoff: *retryBackoff, Quarantine: true,
+		})
+		defer experiments.SetRetryPolicy(parallel.RetryPolicy{})
+	}
+
 	var srv *obsServer
 	if *serveAddr != "" {
 		var err error
@@ -215,7 +268,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "serving on http://%s\n", srv.Addr())
-		defer srv.Close()
+		sd.srv = srv
 	}
 
 	// Sweep parallelism: sweeps inside the experiments package fan their
@@ -261,6 +314,8 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	// table must not hide whether the rest still reproduce. Failures are
 	// reported per experiment id and make the whole run exit non-zero.
 	ran := 0
+	restored := 0
+	watchdogKilled := false
 	var failed []string
 	runSelected := func() {
 		for _, e := range exps {
@@ -273,14 +328,67 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 				ran++
 				continue
 			}
+			if journal != nil {
+				if out, hub, ok := restoreExperiment(journal, e.name, needReg); ok {
+					// A resumed, already-completed experiment replays from
+					// the journal: its captured output and telemetry land
+					// exactly as if it had just run.
+					if *progress {
+						fmt.Fprintf(stderr, "restored %s from the run journal\n", e.name)
+					}
+					fmt.Fprint(tableOut, out)
+					if hub != nil {
+						telemetry.Merge(tel, hub)
+					}
+					srv.markRunning(e.name)
+					srv.markDone(e.name, false)
+					srv.publish(tel.Reg())
+					fmt.Fprintln(tableOut)
+					perf.Active().ResumeRestored()
+					ran++
+					restored++
+					continue
+				}
+			}
 			if *progress {
 				fmt.Fprintf(stderr, "running %s...\n", e.name)
 			}
 			srv.markRunning(e.name)
-			err := runWatched(runCtx, e, tableOut, stderr, *expBudget, tel.Rec(), prof)
+			var err error
+			if journal != nil {
+				// The experiment runs in a mirror hub with its output teed
+				// through a capture buffer: on success both persist as one
+				// journal unit; either way the mirror merges back, so the
+				// live hub matches a journal-less run byte for byte.
+				unit := expUnit(e.name)
+				attempt := journal.Status(unit).Attempts + 1
+				journal.Begin(unit, e.desc, 0, attempt)
+				mirror := telemetry.Mirror(tel)
+				capt := &captureOut{live: tableOut}
+				telemetry.WithDefault(mirror, func() {
+					err = runWatched(runCtx, e, capt, stderr, *expBudget, tel.Rec(), prof)
+				})
+				// Persist BEFORE merging: Merge adopts the mirror's metric
+				// objects and renumbers their instance labels in place to
+				// the live hub's sequence, so an encode after the merge
+				// would journal global numbering and double-shift on
+				// restore.
+				if err == nil {
+					persistExperiment(journal, e.name, capt.String(), mirror, needReg, stderr)
+				} else {
+					journal.Fail(unit, attempt, parallel.Classify(err), err.Error())
+				}
+				telemetry.Merge(tel, mirror)
+			} else {
+				err = runWatched(runCtx, e, tableOut, stderr, *expBudget, tel.Rec(), prof)
+			}
 			srv.markDone(e.name, err != nil)
 			srv.publish(tel.Reg())
 			if err != nil {
+				var we *experiments.WatchdogError
+				if errors.As(err, &we) {
+					watchdogKilled = true
+				}
 				fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.name, err)
 				failed = append(failed, e.name)
 			} else {
@@ -293,6 +401,9 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	if ran == 0 {
 		fmt.Fprintln(stderr, "no experiments selected")
 		return 2
+	}
+	if journal != nil && journal.Resumed() {
+		fmt.Fprintf(stderr, "resumed: %d of %d experiments restored whole from the run journal\n", restored, ran)
 	}
 
 	if code := prof.writeMem(); code != 0 {
@@ -309,8 +420,12 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	if code := writeOutputs(tel, perfPlane, paths, stdout, stderr); code != 0 {
 		return code
 	}
+	sd.run("")
 	if len(failed) > 0 {
 		fmt.Fprintf(stderr, "failed experiments: %s\n", strings.Join(failed, ", "))
+		if watchdogKilled {
+			return 4
+		}
 		return 1
 	}
 	return 0
@@ -383,7 +498,8 @@ func (p *profiler) stopCPU() {
 
 // writeMem snapshots the heap (after a GC, so the profile reflects live
 // objects rather than garbage) into -memprofile, once; later calls are
-// no-ops. Returns a process exit code.
+// no-ops. The write is atomic so a kill racing the snapshot never leaves
+// a truncated profile. Returns a process exit code.
 func (p *profiler) writeMem() int {
 	p.mu.Lock()
 	path := p.memPath
@@ -393,14 +509,11 @@ func (p *profiler) writeMem() int {
 	if path == "" || done {
 		return 0
 	}
-	f, err := os.Create(path)
+	err := runstate.AtomicWrite(path, func(w io.Writer) error {
+		runtime.GC()
+		return pprof.WriteHeapProfile(w)
+	})
 	if err != nil {
-		fmt.Fprintf(p.stderr, "memprofile: %v\n", err)
-		return 1
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintf(p.stderr, "memprofile: %v\n", err)
 		return 1
 	}
@@ -416,20 +529,18 @@ type outputPaths struct {
 
 // writeOutputs serializes the telemetry sinks to the requested files. A
 // path of "-" writes to stdout instead, so exports can be piped straight
-// into jq or a plotting script without touching disk.
+// into jq or a plotting script without touching disk. File writes are
+// atomic (temp file + rename): a crash or kill mid-export leaves either
+// the previous complete document or none, never a truncated one.
 func writeOutputs(tel *telemetry.Telemetry, plane *perf.Plane, p outputPaths, stdout, stderr io.Writer) int {
 	write := func(path, what string, fn func(io.Writer) error) int {
-		w := stdout
-		if path != "-" {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(stderr, "%s: %v\n", what, err)
-				return 1
-			}
-			defer f.Close()
-			w = f
+		var err error
+		if path == "-" {
+			err = fn(stdout)
+		} else {
+			err = runstate.AtomicWrite(path, fn)
 		}
-		if err := fn(w); err != nil {
+		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", what, err)
 			return 1
 		}

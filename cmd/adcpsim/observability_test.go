@@ -146,8 +146,8 @@ func TestWatchdogDumpsFlightRecorder(t *testing.T) {
 	}}}
 	var out, errw bytes.Buffer
 	code := run(exps, []string{"-exp", "hang", "-exp-timeout", "50ms"}, &out, &errw)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1\nstderr: %s", code, errw.String())
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (the distinct watchdog-kill code)\nstderr: %s", code, errw.String())
 	}
 	if !strings.Contains(errw.String(), "flight recorder dump") {
 		t.Fatalf("stderr missing flight dump: %s", errw.String())

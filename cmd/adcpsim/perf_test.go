@@ -150,8 +150,8 @@ func TestWatchdogFlushesProfiles(t *testing.T) {
 			"-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
 		return c, out.String(), errb.String()
 	}()
-	if code != 1 || !strings.Contains(errw, "watchdog") {
-		t.Fatalf("exit %d, stderr %q", code, errw)
+	if code != 4 || !strings.Contains(errw, "watchdog") {
+		t.Fatalf("exit %d (want 4, the watchdog-kill code), stderr %q", code, errw)
 	}
 	for _, p := range []string{cpu, mem} {
 		st, err := os.Stat(p)

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// TestMain lets the test binary re-exec as the real CLI: the golden
+// kill-resume tests need an honest process to SIGKILL, and building a
+// second binary per test run is slower than re-entering run() here.
+func TestMain(m *testing.M) {
+	if os.Getenv("ADCPSIM_EXEC") == "1" {
+		os.Exit(run(defaultExperiments(), os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// execSelf runs the CLI as a real subprocess via the TestMain trampoline.
+func execSelf(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "ADCPSIM_EXEC=1")
+	return cmd
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// Journaling must not perturb output: the same selection with and without
+// -run-dir produces byte-identical stdout and -metrics.
+func TestRunDirDoesNotPerturbOutput(t *testing.T) {
+	dir := t.TempDir()
+	mPlain, mJournal := filepath.Join(dir, "plain.json"), filepath.Join(dir, "journal.json")
+
+	code, plainOut, errw := runCLI(t, "-exp", "faults,failover", "-parallel", "4", "-metrics", mPlain)
+	if code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, errw)
+	}
+	code, journalOut, errw := runCLI(t, "-exp", "faults,failover", "-parallel", "4",
+		"-metrics", mJournal, "-run-dir", filepath.Join(dir, "run"))
+	if code != 0 {
+		t.Fatalf("journaled run exit %d: %s", code, errw)
+	}
+	if plainOut != journalOut {
+		t.Fatalf("stdout diverges under -run-dir:\nplain:\n%s\njournaled:\n%s", plainOut, journalOut)
+	}
+	if !bytes.Equal(readFileT(t, mPlain), readFileT(t, mJournal)) {
+		t.Fatal("-metrics bytes diverge under -run-dir")
+	}
+}
+
+// A full resume of a COMPLETED run replays everything from the journal —
+// stdout and metrics stay byte-identical, and no experiment re-runs.
+func TestResumeReplaysCompletedRun(t *testing.T) {
+	dir := t.TempDir()
+	runDir := filepath.Join(dir, "run")
+	m1, m2 := filepath.Join(dir, "m1.json"), filepath.Join(dir, "m2.json")
+
+	// Two experiments, so the second one's journal payload is encoded at a
+	// non-zero instance-label offset — a restore must not shift numbering.
+	code, out1, errw := runCLI(t, "-exp", "faults,failover", "-metrics", m1, "-run-dir", runDir)
+	if code != 0 {
+		t.Fatalf("first run exit %d: %s", code, errw)
+	}
+	code, out2, errw := runCLI(t, "-exp", "faults,failover", "-metrics", m2, "-run-dir", runDir, "-resume")
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errw)
+	}
+	if out1 != out2 {
+		t.Fatalf("resumed stdout diverges:\nfirst:\n%s\nresumed:\n%s", out1, out2)
+	}
+	if !bytes.Equal(readFileT(t, m1), readFileT(t, m2)) {
+		t.Fatal("resumed -metrics bytes diverge")
+	}
+	if !strings.Contains(errw, "restored") {
+		t.Fatalf("resume stderr does not report restored units: %s", errw)
+	}
+}
+
+// The golden crash test: SIGKILL the run at a randomized (logged) delay,
+// resume it, and demand stdout and -metrics byte-identical to an
+// uninterrupted run — at sequential and wide parallelism.
+func TestKillResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-resume test")
+	}
+	for _, width := range []int{1, 8} {
+		width := width
+		t.Run(fmt.Sprintf("parallel-%d", width), func(t *testing.T) {
+			dir := t.TempDir()
+			sel := "faults,failover,saturation"
+			wantM := filepath.Join(dir, "want.json")
+
+			golden := execSelf(t, "-exp", sel, "-parallel", fmt.Sprint(width), "-metrics", wantM)
+			var wantOut bytes.Buffer
+			golden.Stdout = &wantOut
+			golden.Stderr = os.Stderr
+			if err := golden.Run(); err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+
+			seed := time.Now().UnixNano()
+			delay := time.Duration(20+rand.New(rand.NewSource(seed)).Intn(120)) * time.Millisecond
+			t.Logf("kill seed=%d delay=%v", seed, delay)
+
+			runDir := filepath.Join(dir, "run")
+			victim := execSelf(t, "-exp", sel, "-parallel", fmt.Sprint(width),
+				"-metrics", filepath.Join(dir, "victim.json"), "-run-dir", runDir)
+			victim.Stdout, victim.Stderr = io.Discard, io.Discard
+			if err := victim.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(delay)
+			// The process may have already finished — a resume of a completed
+			// journal is an equally valid identity check.
+			if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Logf("kill after %v: %v (process likely finished)", delay, err)
+			}
+			victim.Wait()
+
+			gotM := filepath.Join(dir, "got.json")
+			resumed := execSelf(t, "-exp", sel, "-parallel", fmt.Sprint(width),
+				"-metrics", gotM, "-run-dir", runDir, "-resume")
+			var gotOut, resumedErr bytes.Buffer
+			resumed.Stdout, resumed.Stderr = &gotOut, &resumedErr
+			if err := resumed.Run(); err != nil {
+				t.Fatalf("resume failed: %v\nstderr: %s", err, resumedErr.String())
+			}
+			if !bytes.Equal(gotOut.Bytes(), wantOut.Bytes()) {
+				t.Fatalf("resumed stdout != uninterrupted stdout (kill at %v)\nwant:\n%s\ngot:\n%s",
+					delay, wantOut.Bytes(), gotOut.Bytes())
+			}
+			if !bytes.Equal(readFileT(t, gotM), readFileT(t, wantM)) {
+				t.Fatalf("resumed -metrics != uninterrupted -metrics (kill at %v)", delay)
+			}
+		})
+	}
+}
+
+func TestResumeUsageErrors(t *testing.T) {
+	if code, _, errw := runCLI(t, "-exp", "faults", "-resume"); code != 2 ||
+		!strings.Contains(errw, "-run-dir") {
+		t.Fatalf("-resume without -run-dir: exit=%d stderr=%q", code, errw)
+	}
+	dir := t.TempDir()
+	if code, _, errw := runCLI(t, "-exp", "faults", "-run-dir", dir, "-trace", "-"); code != 2 ||
+		!strings.Contains(errw, "journal") {
+		t.Fatalf("-run-dir with -trace: exit=%d stderr=%q", code, errw)
+	}
+}
+
+// Resuming under a different experiment selection must refuse: the journal
+// records a config digest, and replaying half a run into a different run
+// would silently produce wrong output.
+func TestResumeRejectsConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errw := runCLI(t, "-exp", "faults", "-run-dir", dir); code != 0 {
+		t.Fatalf("seed run exit %d: %s", code, errw)
+	}
+	code, _, errw := runCLI(t, "-exp", "failover", "-run-dir", dir, "-resume")
+	if code != 1 || !strings.Contains(errw, "mismatch") {
+		t.Fatalf("mismatched resume: exit=%d stderr=%q", code, errw)
+	}
+}
+
+// -point-retries wires a supervised-retry policy into the experiments
+// layer for the duration of the run, and restores the zero policy after.
+func TestPointRetriesInstallsPolicy(t *testing.T) {
+	var got parallel.RetryPolicy
+	probe := []experiment{{"probe", "reads the installed retry policy", func(w io.Writer) error {
+		got = experiments.RetryPolicy()
+		return nil
+	}}}
+	var out, errw bytes.Buffer
+	code := run(probe, []string{"-exp", "probe", "-point-retries", "3", "-retry-backoff", "5ms"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("probe run exit %d: %s", code, errw.String())
+	}
+	if got.MaxAttempts != 3 || !got.Quarantine || got.BaseBackoff != 5*time.Millisecond {
+		t.Fatalf("policy seen by experiments = %+v, want 3 attempts, quarantine, 5ms base", got)
+	}
+	after := experiments.RetryPolicy()
+	if after.MaxAttempts != 0 {
+		t.Fatalf("retry policy leaked after the run: %+v", after)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -137,7 +138,17 @@ func startServer(addr string, tel *telemetry.Telemetry, expNames []string) (*obs
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s.srv = &http.Server{Handler: mux}
+	// Timeouts bound every connection so a stalled or malicious client can
+	// never pin the server (or the run's shutdown drain) forever. The
+	// write timeout is generous on purpose: /debug/pprof/profile streams a
+	// 30-second CPU profile by default and longer on request.
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
 	go s.srv.Serve(ln)
 	if serveReady != nil {
 		serveReady(ln.Addr().String())
@@ -216,4 +227,19 @@ func (s *obsServer) Close() {
 		return
 	}
 	s.srv.Close()
+}
+
+// Drain gracefully shuts the server down: the listener closes, in-flight
+// requests get up to d to finish, then any stragglers are cut. The
+// shutdown plan uses it so a scrape racing the end of the run completes
+// instead of seeing a reset. Nil-safe.
+func (s *obsServer) Drain(d time.Duration) {
+	if s == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+	}
 }

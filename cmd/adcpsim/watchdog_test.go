@@ -29,8 +29,8 @@ func TestExpTimeoutKillsHangingExperiment(t *testing.T) {
 	}
 	var out, errw bytes.Buffer
 	code := run(exps, []string{"-exp", "all", "-exp-timeout", "50ms"}, &out, &errw)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1\nstderr: %s", code, errw.String())
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (the distinct watchdog-kill code)\nstderr: %s", code, errw.String())
 	}
 	if !strings.Contains(errw.String(), "watchdog") || !strings.Contains(errw.String(), "hang") {
 		t.Fatalf("stderr missing watchdog diagnosis: %s", errw.String())

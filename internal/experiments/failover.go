@@ -84,7 +84,9 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 	// architecture.
 	archs := []string{"rmt", "adcp"}
 	bases := make([]sim.Time, len(archs))
-	if err := runPoints("failover.baseline", len(archs), func(i int) error {
+	baseSlot := func(i int) any { return &bases[i] }
+	baseMeta := func(i int) (string, int64) { return archs[i] + " baseline", 0 }
+	if err := runPointsSlot("failover.baseline", len(archs), baseSlot, baseMeta, func(i int) error {
 		arch := archs[i]
 		plainSW, err := build(arch)
 		if err != nil {
@@ -131,9 +133,19 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 			}
 		}
 	}
-	rows := make([]FailoverRow, len(cells))
-	frags := make([]*stats.Table, len(cells))
-	if err := runPoints("failover", len(cells), func(i int) error {
+	// Each point's row and one-row table fragment live in one composite
+	// slot, so the run journal persists and restores them together.
+	type pointResult struct {
+		Row  FailoverRow
+		Frag *stats.Table
+	}
+	results := make([]pointResult, len(cells))
+	slot := func(i int) any { return &results[i] }
+	meta := func(i int) (string, int64) {
+		c := cells[i]
+		return fmt.Sprintf("%s crash=%g sync=%v", c.arch, c.frac, c.syncIv), int64(c.seed)
+	}
+	if err := runPointsSlot("failover", len(cells), slot, meta, func(i int) error {
 		c := cells[i]
 		primary, err := build(c.arch)
 		if err != nil {
@@ -183,7 +195,7 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 			row.ReplOverhead = float64(row.DeltaBytes) / float64(sent)
 		}
 		row.Attr, row.AttrOK = res.Network.Attribution(25)
-		rows[i] = row
+		results[i].Row = row
 		la, lc, lsy := lbl("arch", c.arch), lbl("crash", lf(c.frac)), lbl("sync_ps", li(int(c.syncIv)))
 		record("failover.cct_ps", float64(row.CCT), la, lc, lsy)
 		record("failover.cct_inflation", row.Inflation, la, lc, lsy)
@@ -210,15 +222,17 @@ func Failover(crashFracs []float64, syncIntervals []sim.Time) (*stats.Table, []F
 			fmt.Sprintf("%.2fx", row.Inflation), recovery,
 			fmt.Sprintf("%d", row.ReplayDepth), fmt.Sprintf("%d", row.DeltaBytes),
 			fmt.Sprintf("%.3f", row.ReplOverhead), fmt.Sprintf("%d", row.Retransmits))
-		frags[i] = frag
+		results[i].Frag = frag
 		return nil
 	}); err != nil {
 		return nil, nil, err
 	}
 
+	rows := make([]FailoverRow, len(cells))
 	t := stats.NewTable(tableTitle, tableHeader...)
-	for _, frag := range frags {
-		t.Merge(frag)
+	for i := range results {
+		rows[i] = results[i].Row
+		t.Merge(results[i].Frag)
 	}
 	return t, rows, nil
 }

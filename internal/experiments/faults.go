@@ -92,7 +92,12 @@ func Faults(lossRates []float64) (*stats.Table, []FaultsRow, error) {
 		}
 	}
 	rows := make([]FaultsRow, len(cells))
-	if err := runPoints("faults", len(cells), func(i int) error {
+	slot := func(i int) any { return &rows[i] }
+	meta := func(i int) (string, int64) {
+		c := cells[i]
+		return fmt.Sprintf("%s loss=%g", c.arch, c.rate), int64(faultsSeed(c.rateIdx, c.arch))
+	}
+	if err := runPointsSlot("faults", len(cells), slot, meta, func(i int) error {
 		c := cells[i]
 		res, err := run(c.arch, c.rateIdx, c.rate)
 		if err != nil {

@@ -80,7 +80,8 @@ func Landscape() (*stats.Table, []LandscapeRow, error) {
 		},
 	}
 	rows := make([]LandscapeRow, len(builders))
-	if err := runPoints("landscape", len(builders), func(i int) error {
+	slot := func(i int) any { return &rows[i] }
+	if err := runPointsSlot("landscape", len(builders), slot, nil, func(i int) error {
 		r, err := builders[i]()
 		if err != nil {
 			return err

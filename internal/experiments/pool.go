@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -12,11 +13,16 @@ import (
 // poolWorkers holds the configured sweep parallelism (0 = NumCPU);
 // pointProgress holds the optional per-point progress callback. Both are
 // process-wide knobs set by the harness (cmd/adcpsim) before experiments
-// run.
+// run — as are the run journal and retry policy below.
 var (
 	poolWorkers   atomic.Int32
 	pointProgress atomic.Value // func(sweep string, done, total int)
+	poolJournal   atomic.Value // journalBox
+	poolRetry     atomic.Value // parallel.RetryPolicy
 )
+
+// journalBox wraps the journal interface so atomic.Value can hold nil.
+type journalBox struct{ j parallel.Journal }
 
 // SetParallelism sets the worker-pool width every sweep in this package
 // uses for its independent points, returning the previous setting so
@@ -46,6 +52,33 @@ func SetPointProgress(fn func(sweep string, done, total int)) {
 	pointProgress.Store(fn)
 }
 
+// SetJournal installs the run journal every sweep records into: completed
+// points persist their result slot and telemetry, and a resumed process
+// replays them instead of re-running. nil uninstalls. The CLI sets it
+// when -run-dir is given.
+func SetJournal(j parallel.Journal) { poolJournal.Store(journalBox{j: j}) }
+
+// Journal returns the installed run journal, or nil.
+func Journal() parallel.Journal {
+	if v, ok := poolJournal.Load().(journalBox); ok {
+		return v.j
+	}
+	return nil
+}
+
+// SetRetryPolicy installs the supervised-retry policy every sweep applies
+// to failing points (bounded attempts, seeded backoff, optional
+// quarantine). The zero policy restores classic single-attempt behavior.
+func SetRetryPolicy(p parallel.RetryPolicy) { poolRetry.Store(p) }
+
+// RetryPolicy returns the installed retry policy.
+func RetryPolicy() parallel.RetryPolicy {
+	if p, ok := poolRetry.Load().(parallel.RetryPolicy); ok {
+		return p
+	}
+	return parallel.RetryPolicy{}
+}
+
 // runPoints executes n independent sweep points through the parallel
 // engine: each point runs under its own telemetry hub mirroring the
 // ambient one, and the hubs merge back in point order, so the sweep's
@@ -54,6 +87,18 @@ func SetPointProgress(fn func(sweep string, done, total int)) {
 // A hub carrying a tracer forces sequential execution (traces are not
 // mergeable).
 func runPoints(sweep string, n int, point func(i int) error) error {
+	return runPointsSlot(sweep, n, nil, nil, point)
+}
+
+// runPointsSlot is runPoints with journal metadata: slot(i), when given,
+// returns a pointer to point i's result cell, JSON-round-tripped through
+// the run journal so a resume restores the row without re-running the
+// point; meta(i), when given, supplies the human-readable spec and RNG
+// seed the journal records for the point. Points quarantined by the retry
+// policy are recorded as exp.quarantined markers (labels: sweep, point,
+// class; value: attempts) before the joined error returns — the rest of
+// the sweep has completed and merged.
+func runPointsSlot(sweep string, n int, slot func(i int) any, meta func(i int) (spec string, seed int64), point func(i int) error) error {
 	hub := telemetry.Hub()
 	workers := Parallelism()
 	if hub.Trace() != nil {
@@ -66,6 +111,12 @@ func runPoints(sweep string, n int, point func(i int) error) error {
 			Name: fmt.Sprintf("%s[%d]", sweep, i),
 			Run:  func() error { return point(i) },
 		}
+		if slot != nil {
+			pts[i].Slot = slot(i)
+		}
+		if meta != nil {
+			pts[i].Spec, pts[i].Seed = meta(i)
+		}
 	}
 	var onDone func(done, total int, name string, err error)
 	if v := pointProgress.Load(); v != nil {
@@ -73,5 +124,38 @@ func runPoints(sweep string, n int, point func(i int) error) error {
 			onDone = func(done, total int, _ string, _ error) { fn(sweep, done, total) }
 		}
 	}
-	return parallel.Run(pts, parallel.Options{Workers: workers, Hub: hub, OnDone: onDone})
+	err := parallel.Run(pts, parallel.Options{
+		Workers: workers, Hub: hub, OnDone: onDone,
+		Retry: RetryPolicy(), Journal: Journal(),
+	})
+	for _, qe := range quarantinedIn(err) {
+		record("quarantined", float64(qe.Attempts),
+			lbl("sweep", sweep), lbl("point", qe.Point), lbl("class", qe.Class))
+	}
+	return err
+}
+
+// quarantinedIn collects every *parallel.QuarantinedError in err's tree
+// (parallel.Run joins per-point errors; each quarantined point contributes
+// one).
+func quarantinedIn(err error) []*parallel.QuarantinedError {
+	var out []*parallel.QuarantinedError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if multi, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, c := range multi.Unwrap() {
+				walk(c)
+			}
+			return
+		}
+		var qe *parallel.QuarantinedError
+		if errors.As(e, &qe) {
+			out = append(out, qe)
+		}
+	}
+	walk(err)
+	return out
 }

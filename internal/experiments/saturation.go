@@ -40,7 +40,8 @@ func Saturation() (*stats.Table, []SaturationRow, error) {
 		return netCfg
 	}
 	rows := make([]SaturationRow, 2)
-	if err := runPoints("saturation", len(rows), func(i int) error {
+	slot := func(i int) any { return &rows[i] }
+	if err := runPointsSlot("saturation", len(rows), slot, nil, func(i int) error {
 		if i == 0 {
 			asw, err := apps.NewParamServerADCP(adcpConfig(cc), ps)
 			if err != nil {

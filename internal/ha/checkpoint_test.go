@@ -1,0 +1,103 @@
+package ha_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ha"
+)
+
+// A checkpoint file round-trips a driven switch: save, load into a fresh
+// switch of the same geometry, and the two capture identically.
+func TestCheckpointRoundTrip(t *testing.T) {
+	sw := drivenSwitch(t)
+	path := filepath.Join(t.TempDir(), "sw.ckpt")
+	if err := ha.SaveCheckpoint(path, sw); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := core.New(snapConfig(), snapPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.LoadCheckpoint(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ha.Capture(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ha.Capture(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restored switch captures differently from the checkpointed one")
+	}
+}
+
+// The header makes checkpoints self-verifying: payload damage, header
+// damage, and a foreign file must all refuse to load.
+func TestReadCheckpointRejectsDamage(t *testing.T) {
+	sw := drivenSwitch(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sw.ckpt")
+	if err := ha.SaveCheckpoint(path, sw); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte (past the header line).
+	nl := bytes.IndexByte(good, '\n')
+	bad := append([]byte(nil), good...)
+	bad[nl+10] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ha.ReadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("bit-rotted payload loaded: %v", err)
+	}
+
+	// Truncate mid-payload: the digest no longer matches.
+	if err := os.WriteFile(path, good[:len(good)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ha.ReadCheckpoint(path); err == nil {
+		t.Fatal("truncated checkpoint loaded")
+	}
+
+	// A file that never was a checkpoint.
+	other := filepath.Join(dir, "other")
+	if err := os.WriteFile(other, []byte("just some text\nmore\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ha.ReadCheckpoint(other); err == nil || !strings.Contains(err.Error(), "not a") {
+		t.Fatalf("foreign file loaded as a checkpoint: %v", err)
+	}
+}
+
+// Loading into a switch of a different geometry must refuse — the restore
+// layer's geometry check reaches through the checkpoint path.
+func TestLoadCheckpointGeometryMismatch(t *testing.T) {
+	sw := drivenSwitch(t)
+	path := filepath.Join(t.TempDir(), "sw.ckpt")
+	if err := ha.SaveCheckpoint(path, sw); err != nil {
+		t.Fatal(err)
+	}
+	cfg := snapConfig()
+	cfg.Ports = 4 // different geometry
+	small, err := core.New(cfg, snapPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.LoadCheckpoint(path, small); err == nil {
+		t.Fatal("checkpoint restored into a mismatched geometry")
+	}
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ha"
+)
+
+func ckptSwitch(t *testing.T) *core.Switch {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Ports = 8
+	cfg.DemuxFactor = 2
+	cfg.CentralPipelines = 4
+	cfg.EgressPipelines = 2
+	pipe := cfg.Pipe
+	pipe.Stages = 4
+	cfg.Pipe = pipe
+	sw, err := core.New(cfg, core.Programs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// CheckpointPath checkpoints the switch's end state after a successful
+// drained run, and the file restores into a fresh switch bit-for-bit.
+func TestCheckpointPathSavesEndState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "end.ckpt")
+	sw := ckptSwitch(t)
+	cfg := DefaultConfig(8)
+	cfg.CheckpointPath = path
+	n, err := New(cfg, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.SendAt(i, rawPkt(i, 7-i, 2), 0)
+	}
+	n.Run()
+	if len(n.Errors()) != 0 {
+		t.Fatalf("run errors: %v", n.Errors())
+	}
+
+	restored := ckptSwitch(t)
+	if err := ha.LoadCheckpoint(path, restored); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ha.Capture(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ha.Capture(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restored end-state differs from the live switch")
+	}
+}
+
+// A switch model that is not a *core.Switch has no snapshot surface: the
+// run must complete clean and simply skip the checkpoint.
+func TestCheckpointPathSkipsNonCoreSwitch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "skip.ckpt")
+	cfg := DefaultConfig(2)
+	cfg.CheckpointPath = path
+	n, err := New(cfg, echoSwitch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SendAt(0, rawPkt(0, 1, 1), 0)
+	n.Run()
+	if len(n.Errors()) != 0 {
+		t.Fatalf("run errors: %v", n.Errors())
+	}
+	if _, err := ha.ReadCheckpoint(path); err == nil {
+		t.Fatal("a checkpoint appeared for a model with no snapshot surface")
+	}
+}

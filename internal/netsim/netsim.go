@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/coflow"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ha"
 	"repro/internal/packet"
@@ -75,6 +76,13 @@ type Config struct {
 	// HA tunes the replication channel and the failover controller; nil
 	// uses ha.DefaultOptions(). Only meaningful with Standby set.
 	HA *ha.Options
+	// CheckpointPath, when non-empty, checkpoints the switch's final state
+	// to this file (ha canonical wire format, atomic rename, digest-framed)
+	// at the end of a Run that drained its queue without errors — so a long
+	// single run leaves a restorable artifact (ha.LoadCheckpoint) instead
+	// of only ephemeral in-process state. Requires the switch model to be a
+	// *core.Switch (the stateful ADCP model); other models are skipped.
+	CheckpointPath string
 }
 
 // TraversalCounter is implemented by switch models that can report their
@@ -705,8 +713,8 @@ func (n *Network) Run() {
 	n.eng.Run()
 	pre := len(n.errs)
 	if n.eng.BudgetExceeded() {
-		n.errs = append(n.errs, fmt.Errorf("netsim: sim event budget exhausted after %d events at %v",
-			n.eng.Fired(), n.eng.Now()))
+		n.errs = append(n.errs, fmt.Errorf("netsim: %w after %d events at %v",
+			sim.ErrEventBudget, n.eng.Fired(), n.eng.Now()))
 	}
 	if n.eng.Pending() == 0 {
 		if err := n.CheckConservation(); err != nil {
@@ -722,6 +730,13 @@ func (n *Network) Run() {
 			sink = os.Stderr
 		}
 		n.fr.Dump(sink, n.errs[len(n.errs)-1].Error())
+	}
+	if n.cfg.CheckpointPath != "" && len(n.errs) == 0 && n.eng.Pending() == 0 {
+		if sw, ok := n.sw.(*core.Switch); ok {
+			if err := ha.SaveCheckpoint(n.cfg.CheckpointPath, sw); err != nil {
+				n.errs = append(n.errs, fmt.Errorf("netsim: checkpoint: %w", err))
+			}
+		}
 	}
 	n.publishAttribution()
 }

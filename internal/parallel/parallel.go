@@ -45,7 +45,20 @@ import (
 // objects — and must be deterministic given its declared seed.
 type Point struct {
 	// Name identifies the point in errors and progress ("failover[3]").
+	// It is also the point's journal identity, so it must be stable
+	// across runs of the same sweep configuration.
 	Name string
+	// Spec optionally describes the point's configuration for the journal
+	// (human-readable; not interpreted).
+	Spec string
+	// Seed optionally records the point's RNG seed in the journal.
+	Seed int64
+	// Slot optionally points at the point's result cell (a row in the
+	// sweep's result slice). When a journal is active, the slot is
+	// JSON-round-tripped with the point's telemetry: persisted on
+	// completion, restored in place on resume. It must marshal/unmarshal
+	// losslessly; Run must confine its result writes to it.
+	Slot any
 	// Run executes the point. Inside Run the ambient hub (telemetry.Hub)
 	// is the point-local hub when the pool is parallel, or the caller's
 	// hub when sequential; code that records through the hub needs no
@@ -70,7 +83,19 @@ type Options struct {
 	Hub *telemetry.Telemetry
 	// OnDone, when set, is called after each point completes, serialized
 	// across workers: done counts completed points, total is len(points).
+	// Points restored from the journal fire it too, in point order,
+	// before execution starts.
 	OnDone func(done, total int, name string, err error)
+	// Retry supervises failing points: bounded attempts with seeded
+	// exponential backoff, and optional quarantine on exhaustion. The
+	// zero value preserves the classic single-attempt behavior.
+	Retry RetryPolicy
+	// Journal, when set, makes the sweep durable: completed points
+	// persist their slot and telemetry, and points the journal already
+	// holds are restored instead of re-run, merging into the exact bytes
+	// an uninterrupted run produces. Ignored on the trace path (the CLI
+	// refuses to combine a run directory with tracing).
+	Journal Journal
 }
 
 // Run executes every point and returns the points' errors joined in point
@@ -112,20 +137,49 @@ func Run(points []Point, opt Options) error {
 		return join(points, errs)
 	}
 
+	// Journal restore pass: points the journal holds complete replay from
+	// their persisted payloads — slot written in place, decoded hub queued
+	// for the same deterministic merge a live hub would get — so a resumed
+	// sweep and an uninterrupted one merge identical state in identical
+	// order.
 	hubs := make([]*telemetry.Telemetry, n)
-	if workers == 1 {
+	restored := make([]bool, n)
+	restoredCount := 0
+	if opt.Journal != nil {
 		for i := range points {
-			local := mirror(opt.Hub)
-			hubs[i] = local
-			telemetry.WithHub(local, func() {
-				errs[i] = execPoint(pp, poolStart, points[i], 0)
-			})
+			if hub, ok := restorePoint(opt.Journal, points[i], opt.Hub); ok {
+				hubs[i] = hub
+				restored[i] = true
+				restoredCount++
+				pp.ResumeRestored()
+			}
+		}
+	}
+	if opt.OnDone != nil {
+		d := 0
+		for i := range points {
+			if restored[i] {
+				d++
+				opt.OnDone(d, n, points[i].Name, nil)
+			}
+		}
+	}
+
+	if workers == 1 {
+		d := restoredCount
+		for i := range points {
+			if restored[i] {
+				continue
+			}
+			hubs[i], errs[i] = runSupervised(pp, poolStart, opt, points[i], 0)
+			d++
 			if opt.OnDone != nil {
-				opt.OnDone(i+1, n, points[i].Name, errs[i])
+				opt.OnDone(d, n, points[i].Name, errs[i])
 			}
 		}
 	} else {
 		var next, done atomic.Int64
+		done.Store(int64(restoredCount))
 		var progressMu sync.Mutex
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -137,11 +191,11 @@ func Run(points []Point, opt Options) error {
 					if i >= n {
 						return
 					}
-					local := mirror(opt.Hub)
-					hubs[i] = local
-					telemetry.WithHub(local, func() {
-						errs[i] = execPoint(pp, poolStart, points[i], worker)
-					})
+					if restored[i] {
+						continue
+					}
+					hub, err := runSupervised(pp, poolStart, opt, points[i], worker)
+					hubs[i], errs[i] = hub, err
 					if opt.OnDone != nil {
 						progressMu.Lock()
 						opt.OnDone(int(done.Add(1)), n, points[i].Name, errs[i])
@@ -179,34 +233,13 @@ func execPoint(pp *perf.Plane, poolStart time.Time, p Point, worker int) (err er
 	return err
 }
 
-// mirror builds a point-local hub matching the destination's shape: a
-// fresh registry when the destination records metrics, a fresh sampler
-// with the destination's interval and capacity when it samples. Tracers
-// are never mirrored (Run forces one worker instead). The flight
-// recorder is shared, not mirrored: it is a concurrency-safe diagnostic
-// ring outside the deterministic exports, and a post-mortem dump should
-// see every worker's last moves.
-func mirror(dst *telemetry.Telemetry) *telemetry.Telemetry {
-	if dst == nil {
-		return nil
-	}
-	local := &telemetry.Telemetry{Detail: dst.Detail, Flight: dst.Flight}
-	if dst.Metrics != nil {
-		local.Metrics = telemetry.NewRegistry()
-		if dst.Sampler != nil {
-			local.Sampler = telemetry.NewSampler(local.Metrics, dst.Sampler.Interval(), dst.Sampler.Capacity())
-		}
-	}
-	return local
-}
-
-// runPoint executes one point, converting a panic into an error carrying
-// the worker stack, so a crashing sweep point surfaces as an experiment
-// failure instead of killing the process.
+// runPoint executes one point, converting a panic into a *panicError
+// carrying the worker stack, so a crashing sweep point surfaces as a
+// classified experiment failure instead of killing the process.
 func runPoint(p Point) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+			err = &panicError{val: r, stack: debug.Stack()}
 		}
 	}()
 	return p.Run()

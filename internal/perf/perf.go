@@ -67,6 +67,12 @@ type Plane struct {
 	poolPoints  atomic.Uint64
 	queueWaitNs atomic.Int64
 	mergeNs     atomic.Int64
+
+	// Resilience accounting (fed by the supervised retry plane in
+	// internal/parallel and the journal restore pass).
+	retryRetries     atomic.Uint64
+	retryQuarantined atomic.Uint64
+	resumeRestored   atomic.Uint64
 }
 
 type workerStats struct {
@@ -142,6 +148,10 @@ func (p *Plane) register() {
 	reg.ObserveFunc("perf.mem.alloc_bytes", func() float64 { return float64(p.memDelta().AllocBytes) })
 	reg.ObserveFunc("perf.mem.gc_cycles", func() float64 { return float64(p.memDelta().GCCycles) })
 	reg.ObserveFunc("perf.mem.gc_pause_ns", func() float64 { return float64(p.memDelta().GCPauseNs) })
+
+	reg.ObserveFunc("perf.retry.retries", func() float64 { return float64(p.retryRetries.Load()) })
+	reg.ObserveFunc("perf.retry.quarantined", func() float64 { return float64(p.retryQuarantined.Load()) })
+	reg.ObserveFunc("perf.resume.restored", func() float64 { return float64(p.resumeRestored.Load()) })
 
 	reg.ObserveFunc("perf.pool.runs", func() float64 { return float64(p.poolRuns.Load()) })
 	reg.ObserveFunc("perf.pool.wall_s", func() float64 { return float64(p.poolWallNs.Load()) / 1e9 })

@@ -41,6 +41,33 @@ func (p *Plane) PoolRun(wall, mergeStall time.Duration) {
 	p.mergeNs.Add(mergeStall.Nanoseconds())
 }
 
+// RetryRetried counts one retried point attempt (an attempt after the
+// first). Safe on a nil plane.
+func (p *Plane) RetryRetried() {
+	if p == nil {
+		return
+	}
+	p.retryRetries.Add(1)
+}
+
+// RetryQuarantined counts one point quarantined after retry exhaustion.
+// Safe on a nil plane.
+func (p *Plane) RetryQuarantined() {
+	if p == nil {
+		return
+	}
+	p.retryQuarantined.Add(1)
+}
+
+// ResumeRestored counts one unit (sweep point or experiment) replayed
+// from the run journal instead of re-executed. Safe on a nil plane.
+func (p *Plane) ResumeRestored() {
+	if p == nil {
+		return
+	}
+	p.resumeRestored.Add(1)
+}
+
 // workerStats returns (registering on first use) the stats slot and
 // perf.pool.worker_* series for one worker index.
 func (p *Plane) workerStats(worker int) *workerStats {

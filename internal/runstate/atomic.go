@@ -1,0 +1,115 @@
+// Package runstate makes runs durable: a crash-safe, append-only run
+// journal that records every unit of work (sweep point or experiment) as
+// it begins, completes, fails, or is quarantined, plus the atomic-write
+// primitive every file export in the repository goes through. Together
+// they give the CLI its resume guarantee — kill -9 at any instant, rerun
+// with -resume, and the completed units replay from their persisted
+// payloads while incomplete ones re-enqueue, producing byte-identical
+// output to an uninterrupted run.
+//
+// The journal applies the same recipe the simulated switch uses for warm
+// standby (internal/ha, after State-Compute Replication): append a durable
+// log of completed deltas, tolerate a torn tail (the analogue of in-flight
+// packets lost at crash), and restore by replaying the prefix that
+// committed. See docs/RESILIENCE.md for the format and semantics.
+package runstate
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite writes a file by streaming through write into a temporary
+// file in the destination's directory, syncing it, and renaming it over
+// path — so readers (and crashes at any instant) observe either the old
+// complete file or the new complete file, never a truncated artifact. The
+// temporary name starts with "." and ends in ".tmp", which resume cleanup
+// and the journal replay ignore.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path via AtomicWrite.
+func WriteFileAtomic(path string, data []byte) error {
+	return AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Digest returns the hex sha256 of b — the integrity check the journal
+// stores for unit payloads and run configurations.
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// removeTempFiles deletes leftover AtomicWrite temporaries in dir — the
+// debris a kill -9 can leave between CreateTemp and Rename.
+func removeTempFiles(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && len(name) > 0 && name[0] == '.' && filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// sanitizeUnit converts a unit id into a stable filename: unsafe bytes
+// become '_' and a short digest of the raw id is appended so distinct
+// units can never collide after sanitization.
+func sanitizeUnit(unit string) string {
+	out := make([]byte, 0, len(unit))
+	for i := 0; i < len(unit); i++ {
+		c := unit[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	const maxStem = 80
+	if len(out) > maxStem {
+		out = out[:maxStem]
+	}
+	return fmt.Sprintf("%s-%s", out, Digest([]byte(unit))[:8])
+}

@@ -1,0 +1,421 @@
+package runstate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Journal record operations.
+const (
+	OpRun        = "run"        // first record: config digest + argv
+	OpResume     = "resume"     // appended by every -resume open
+	OpBegin      = "begin"      // a unit attempt started
+	OpDone       = "done"       // a unit completed; payload digest committed
+	OpFail       = "fail"       // a unit attempt failed (class + error)
+	OpQuarantine = "quarantine" // a unit exhausted its retry budget
+	OpEnd        = "end"        // clean process shutdown committed the journal
+)
+
+// Record is one journal entry. Fields are op-specific; zero values are
+// omitted from the encoding.
+type Record struct {
+	Op      string   `json:"op"`
+	Unit    string   `json:"unit,omitempty"`
+	Spec    string   `json:"spec,omitempty"`    // begin: human-readable unit spec
+	Seed    int64    `json:"seed,omitempty"`    // begin: the unit's declared seed
+	Attempt int      `json:"attempt,omitempty"` // begin/fail/quarantine: 1-based attempt count
+	Class   string   `json:"class,omitempty"`   // fail/quarantine: panic|watchdog|budget|error
+	Digest  string   `json:"digest,omitempty"`  // done: sha256 of the unit payload file
+	Err     string   `json:"err,omitempty"`     // fail/quarantine: the error text
+	Config  string   `json:"config,omitempty"`  // run: digest of the run configuration
+	Argv    []string `json:"argv,omitempty"`    // run: command line, for humans
+}
+
+// journalFile is the journal's name inside a run directory.
+const journalFile = "journal.jsonl"
+
+// unitsDir holds one payload file per completed unit.
+const unitsDir = "units"
+
+// quarantineDir holds one flight-recorder dump per quarantined unit.
+const quarantineDir = "quarantine"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame encodes one record line: "<len> <crc32c-hex> <json>\n". The length
+// and checksum cover the JSON bytes, so replay detects both torn tails
+// (short final line) and bit rot (checksum mismatch mid-file).
+func frame(rec Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := fmt.Sprintf("%d %08x %s\n", len(body), crc32.Checksum(body, crcTable), body)
+	return []byte(line), nil
+}
+
+// parseLine decodes one framed line (without trailing newline).
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	s := string(line)
+	sp1 := strings.IndexByte(s, ' ')
+	if sp1 < 0 {
+		return rec, errors.New("missing length field")
+	}
+	sp2 := strings.IndexByte(s[sp1+1:], ' ')
+	if sp2 < 0 {
+		return rec, errors.New("missing checksum field")
+	}
+	sp2 += sp1 + 1
+	n, err := strconv.Atoi(s[:sp1])
+	if err != nil {
+		return rec, fmt.Errorf("bad length: %w", err)
+	}
+	wantCRC, err := strconv.ParseUint(s[sp1+1:sp2], 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad checksum: %w", err)
+	}
+	body := s[sp2+1:]
+	if len(body) != n {
+		return rec, fmt.Errorf("length %d, frame says %d", len(body), n)
+	}
+	if got := crc32.Checksum([]byte(body), crcTable); uint32(wantCRC) != got {
+		return rec, fmt.Errorf("checksum %08x, frame says %08x", got, wantCRC)
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		return rec, fmt.Errorf("bad record JSON: %w", err)
+	}
+	return rec, nil
+}
+
+// Replay parses a journal byte stream into its committed records. A torn
+// tail — an invalid or incomplete *final* line, the only damage an
+// append-only crash can inflict — is tolerated and reported via torn;
+// damage anywhere earlier is corruption and returns an error.
+func Replay(data []byte) (recs []Record, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// Unterminated final line: torn mid-record. Each record commits
+			// as one write+fsync including its newline, so an unterminated
+			// record never committed — drop it; the unit re-runs.
+			return recs, true, nil
+		}
+		rec, perr := parseLine(data[off:nl])
+		if perr != nil {
+			if nl == len(data)-1 {
+				// Invalid but final line: tail-only damage, tolerated like
+				// an unterminated tail.
+				return recs, true, nil
+			}
+			return recs, false, fmt.Errorf("runstate: journal corrupt at byte %d: %v", off, perr)
+		}
+		recs = append(recs, rec)
+		off = nl + 1
+	}
+	return recs, false, nil
+}
+
+// UnitStatus summarizes what the journal knows about one unit after replay.
+type UnitStatus struct {
+	Digest      string // payload digest when done
+	Done        bool
+	Attempts    int // attempts recorded across all processes
+	Quarantined bool
+}
+
+// Journal is the append-only run journal inside a run directory. One
+// process opens it for the duration of a run; records append with
+// length+checksum framing and an fsync per record, so a kill -9 loses at
+// most the record being written — which replay then drops as a torn tail.
+// All methods are safe for concurrent use by pool workers.
+type Journal struct {
+	dir     string
+	mu      sync.Mutex
+	f       *os.File
+	closed  bool
+	resumed bool
+	units   map[string]*UnitStatus
+}
+
+// ErrFreshDirHasJournal is returned by Open when the directory already
+// holds a journal and Resume was not requested.
+var ErrFreshDirHasJournal = errors.New("runstate: run directory already contains a journal (pass -resume to continue it, or use a fresh directory)")
+
+// ErrNothingToResume is returned by Open with Resume set when the
+// directory holds no journal.
+var ErrNothingToResume = errors.New("runstate: nothing to resume (no journal in run directory)")
+
+// OpenOptions configure Open.
+type OpenOptions struct {
+	// Config digests the run configuration (experiment selection and every
+	// knob that changes deterministic output). A resume whose config digest
+	// differs from the journal's refuses to proceed: merging points run
+	// under different configurations would silently corrupt the output.
+	Config string
+	// Argv is recorded in the run record for humans reading the journal.
+	Argv []string
+	// Resume replays an existing journal instead of starting fresh.
+	Resume bool
+}
+
+// Open creates or resumes the journal in dir. Fresh runs require dir to
+// hold no journal; resumes require one, with a matching config digest.
+// Leftover atomic-write temporaries from a killed process are removed
+// either way.
+func Open(dir string, opt OpenOptions) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Join(dir, unitsDir), 0o777); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o777); err != nil {
+		return nil, err
+	}
+	removeTempFiles(dir)
+	removeTempFiles(filepath.Join(dir, unitsDir))
+	removeTempFiles(filepath.Join(dir, quarantineDir))
+
+	path := filepath.Join(dir, journalFile)
+	j := &Journal{dir: dir, units: make(map[string]*UnitStatus), resumed: opt.Resume}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && !opt.Resume:
+		return nil, ErrFreshDirHasJournal
+	case os.IsNotExist(err) && opt.Resume:
+		return nil, ErrNothingToResume
+	case err != nil && !os.IsNotExist(err):
+		return nil, err
+	}
+
+	if opt.Resume {
+		recs, torn, rerr := Replay(data)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(recs) == 0 || recs[0].Op != OpRun {
+			return nil, fmt.Errorf("runstate: journal in %s has no run record", dir)
+		}
+		if opt.Config != "" && recs[0].Config != opt.Config {
+			return nil, fmt.Errorf("runstate: resume configuration mismatch: journal was recorded with config %s, this invocation digests to %s (same flags required)",
+				short(recs[0].Config), short(opt.Config))
+		}
+		for _, rec := range recs {
+			j.apply(rec)
+		}
+		if torn {
+			// Re-terminate the file at the last committed record so the
+			// resumed process appends framed records on a clean boundary.
+			keep := committedLen(data)
+			if werr := os.Truncate(path, int64(keep)); werr != nil {
+				return nil, werr
+			}
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	first := Record{Op: OpRun, Config: opt.Config, Argv: opt.Argv}
+	if opt.Resume {
+		first = Record{Op: OpResume, Config: opt.Config, Argv: opt.Argv}
+	}
+	if err := j.append(first); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// short abbreviates a digest for error text.
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12] + "…"
+	}
+	if d == "" {
+		return "(empty)"
+	}
+	return d
+}
+
+// committedLen returns the byte length of data's committed prefix — the
+// bytes up to and including the last record that replays cleanly.
+func committedLen(data []byte) int {
+	off, last := 0, 0
+	for off < len(data) {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break
+		}
+		if _, err := parseLine(data[off:nl]); err != nil {
+			break
+		}
+		last = nl + 1
+		off = nl + 1
+	}
+	return last
+}
+
+// apply folds one replayed record into the unit map.
+func (j *Journal) apply(rec Record) {
+	status := func(unit string) *UnitStatus {
+		st, ok := j.units[unit]
+		if !ok {
+			st = &UnitStatus{}
+			j.units[unit] = st
+		}
+		return st
+	}
+	switch rec.Op {
+	case OpBegin:
+		st := status(rec.Unit)
+		if rec.Attempt > st.Attempts {
+			st.Attempts = rec.Attempt
+		}
+	case OpDone:
+		st := status(rec.Unit)
+		st.Done, st.Digest, st.Quarantined = true, rec.Digest, false
+	case OpFail:
+		st := status(rec.Unit)
+		if rec.Attempt > st.Attempts {
+			st.Attempts = rec.Attempt
+		}
+	case OpQuarantine:
+		// Quarantine poisons the unit for the run that recorded it; a
+		// resume re-enqueues it (a fresh process may well succeed), so the
+		// unit is simply not Done.
+		status(rec.Unit).Quarantined = true
+	}
+}
+
+// Resumed reports whether this journal continues an earlier process.
+func (j *Journal) Resumed() bool { return j.resumed }
+
+// Status returns what the replayed journal recorded about unit.
+func (j *Journal) Status(unit string) UnitStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if st, ok := j.units[unit]; ok {
+		return *st
+	}
+	return UnitStatus{}
+}
+
+// append frames and durably writes one record. Caller must not hold j.mu.
+func (j *Journal) append(rec Record) error {
+	line, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("runstate: journal closed")
+	}
+	j.apply(rec)
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// unitPath returns the payload file for unit.
+func (j *Journal) unitPath(unit string) string {
+	return filepath.Join(j.dir, unitsDir, sanitizeUnit(unit)+".json")
+}
+
+// QuarantinePath returns the dump file recorded for a quarantined unit.
+func (j *Journal) QuarantinePath(unit string) string {
+	return filepath.Join(j.dir, quarantineDir, sanitizeUnit(unit)+".txt")
+}
+
+// Begin records that an attempt at unit started.
+func (j *Journal) Begin(unit, spec string, seed int64, attempt int) {
+	j.append(Record{Op: OpBegin, Unit: unit, Spec: spec, Seed: seed, Attempt: attempt})
+}
+
+// Done atomically persists the unit's payload and commits a done record
+// carrying its digest. The payload file lands (rename) before the record
+// appends, so a done record always points at a complete payload.
+func (j *Journal) Done(unit string, payload []byte) error {
+	if err := WriteFileAtomic(j.unitPath(unit), payload); err != nil {
+		return err
+	}
+	return j.append(Record{Op: OpDone, Unit: unit, Digest: Digest(payload)})
+}
+
+// Fail records one failed attempt.
+func (j *Journal) Fail(unit string, attempt int, class, errMsg string) {
+	j.append(Record{Op: OpFail, Unit: unit, Attempt: attempt, Class: class, Err: errMsg})
+}
+
+// Quarantine records that unit exhausted its retry budget, persisting the
+// post-mortem dump (typically the flight-recorder ring) alongside.
+func (j *Journal) Quarantine(unit string, attempts int, class, errMsg string, dump []byte) {
+	if len(dump) > 0 {
+		WriteFileAtomic(j.QuarantinePath(unit), dump)
+	}
+	j.append(Record{Op: OpQuarantine, Unit: unit, Attempt: attempts, Class: class, Err: errMsg})
+}
+
+// LookupDone returns the persisted payload for a completed unit. The
+// payload's digest must match the done record; a mismatch (damaged or
+// tampered payload file) rejects the unit so it re-runs rather than
+// poisoning the merged output.
+func (j *Journal) LookupDone(unit string) ([]byte, bool) {
+	j.mu.Lock()
+	st, ok := j.units[unit]
+	if ok {
+		cp := *st
+		st = &cp
+	}
+	j.mu.Unlock()
+	if !ok || !st.Done {
+		return nil, false
+	}
+	b, err := os.ReadFile(j.unitPath(unit))
+	if err != nil || Digest(b) != st.Digest {
+		return nil, false
+	}
+	return b, true
+}
+
+// Close commits an end record and closes the journal file. Idempotent:
+// the shutdown path and the normal exit path may both call it.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Unlock()
+	err := j.append(Record{Op: OpEnd})
+	j.mu.Lock()
+	j.closed = true
+	cerr := j.f.Close()
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -117,6 +118,11 @@ type Engine struct {
 // DispatchHook observes each dispatched event: the time it fired, the queue
 // depth after removing it, and the cumulative fired count including it.
 type DispatchHook func(at Time, pending int, fired uint64)
+
+// ErrEventBudget is the sentinel wrapped into any error reporting event
+// budget exhaustion, so supervisors (the parallel retry plane) can classify
+// a runaway point with errors.Is instead of string matching.
+var ErrEventBudget = errors.New("sim event budget exhausted")
 
 // defaultEventBudget is the process-wide budget applied to every new
 // engine (0 = unbounded). Atomic so a watchdog goroutine can set it while

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// Restore-then-merge must be indistinguishable from merging the live
+// object — the telemetry persistence layer leans on these round trips.
+func TestGaugeStateRoundTrip(t *testing.T) {
+	g := &Gauge{}
+	g.Set(9)
+	g.Set(3)
+	r := &Gauge{}
+	r.RestoreState(g.State())
+	if r.Value() != g.Value() || r.Peak() != g.Peak() {
+		t.Fatalf("restored gauge (v=%d peak=%d) != live (v=%d peak=%d)",
+			r.Value(), r.Peak(), g.Value(), g.Peak())
+	}
+	// An unset gauge must restore as unset: the first Set after restore
+	// establishes the peak, it does not compete with a phantom zero.
+	var zero Gauge
+	r2 := &Gauge{}
+	r2.RestoreState(zero.State())
+	r2.Set(-5)
+	if r2.Peak() != -5 {
+		t.Fatalf("restored zero gauge lost its unset flag: peak=%d, want -5", r2.Peak())
+	}
+}
+
+func TestLogHistStateRoundTrip(t *testing.T) {
+	h := &LogHist{}
+	for _, v := range []float64{0, 1, 2.5, 1000, 1e9, 3, 3, 3} {
+		h.Observe(v)
+	}
+	r := &LogHist{}
+	r.RestoreState(h.State())
+	if !reflect.DeepEqual(r.State(), h.State()) {
+		t.Fatalf("restored state %+v != live %+v", r.State(), h.State())
+	}
+	if r.Count() != h.Count() || r.Sum() != h.Sum() ||
+		r.Min() != h.Min() || r.Max() != h.Max() ||
+		r.Quantile(0.5) != h.Quantile(0.5) || r.Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatal("restored histogram readouts diverge from the live ones")
+	}
+
+	// Merging the restored copy must equal merging the live one.
+	a, b := &LogHist{}, &LogHist{}
+	for _, v := range []float64{7, 70, 700} {
+		a.Observe(v)
+		b.Observe(v)
+	}
+	a.Merge(h)
+	b.Merge(r)
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Fatalf("merge(live) %+v != merge(restored) %+v", a.State(), b.State())
+	}
+}
+
+func TestTableJSONRoundTripMerges(t *testing.T) {
+	frag := NewTable("title", "a", "b")
+	frag.AddRow("x", "1")
+	frag.AddRow("y", "2")
+	enc, err := json.Marshal(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := NewTable("title", "a", "b")
+	direct.Merge(frag)
+	via := NewTable("title", "a", "b")
+	via.Merge(&back)
+	if direct.String() != via.String() {
+		t.Fatalf("table through JSON renders differently:\ndirect:\n%s\nvia JSON:\n%s", direct, via)
+	}
+	if !bytes.Contains([]byte(direct.String()), []byte("x")) {
+		t.Fatalf("merged table lost rows:\n%s", direct)
+	}
+}
