@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-check perf soak kill-resume experiments tables examples cover clean ci docs-check
+.PHONY: all build test race bench bench-check perf soak kill-resume daemon-chaos experiments tables examples cover clean ci docs-check
 
 all: build test
 
@@ -27,7 +27,7 @@ bench:
 # underlying experiments are deterministic, so in practice any exp.* drift
 # means the model changed; refresh the baseline intentionally with:
 #   BENCH_JSON=bench_baseline.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
-BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth|BenchmarkSpanOverhead|BenchmarkPerfOverhead
+BENCH_SUBSET := BenchmarkTable1Apps|BenchmarkFig4Walk|BenchmarkTensionSweep|BenchmarkCacheHit|BenchmarkFig6ArrayWidth|BenchmarkSpanOverhead|BenchmarkPerfOverhead|BenchmarkDaemonJob
 bench-check:
 	BENCH_JSON=/tmp/bench_current.json go test -run '^$$' -bench '$(BENCH_SUBSET)' -benchtime 1x .
 	go run ./cmd/benchcheck -baseline bench_baseline.json -current /tmp/bench_current.json -tol 0.20 -perf-tol 0.5
@@ -80,6 +80,19 @@ kill-resume:
 	diff $(KILL_DIR)/want.out $(KILL_DIR)/got.out
 	diff $(KILL_DIR)/want.json $(KILL_DIR)/got.json
 	@echo "kill-resume: output byte-identical after SIGKILL + resume"
+
+# Daemon chaos gate (blocking in CI): start the job daemon, submit a
+# mixed batch (good jobs around a poison job), SIGKILL the daemon at a
+# randomized logged delay, restart it on the same directory, and demand
+# the good jobs recover with results byte-identical to batch CLI runs,
+# the poison job lands in quarantine without killing the service, and a
+# final SIGTERM drains with exit 0. See cmd/daemonchaos and
+# docs/SERVICE.md. Reproduce a failing run with CHAOS_SEED=<seed>.
+CHAOS_DIR ?= /tmp/daemon-chaos
+CHAOS_SEED ?= 0
+daemon-chaos:
+	go build -o $(CHAOS_DIR).bin ./cmd/adcpsim
+	go run ./cmd/daemonchaos -bin $(CHAOS_DIR).bin -dir $(CHAOS_DIR) -seed $(CHAOS_SEED)
 
 # Documentation lint: every internal package and command carries a godoc
 # comment, every relative markdown link in README.md / docs/ resolves,

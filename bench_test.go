@@ -23,6 +23,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/perf"
 	"repro/internal/rmt"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/swswitch"
 	"repro/internal/telemetry"
@@ -539,6 +541,52 @@ func BenchmarkSpanOverhead(b *testing.B) {
 		reg.Set("exp.spanoverhead.span_events", float64(spanEvents))
 		reg.Set("exp.spanoverhead.attr_sum_ps", float64(attrSum))
 		reg.Set("exp.spanoverhead.cct_ps", float64(cct))
+	}
+}
+
+// BenchmarkDaemonJob pins the job daemon's per-job service overhead: the
+// full durable lifecycle — journaled submit, admission, a fresh run
+// directory with its own journal, execution of a trivial experiment,
+// atomic result commit, journaled completion — divided by jobs. The
+// experiment body is a no-op on purpose, so the number isolates what the
+// service plane itself costs (fsync-bounded: two job-journal records plus
+// the run journal per job). Informational only — it lands as
+// perf.bench.job_overhead_s for trend-watching, never as a gate, because
+// fsync latency is the machine's, not the code's.
+func BenchmarkDaemonJob(b *testing.B) {
+	d, err := service.New(service.Config{
+		Dir: b.TempDir(),
+		Experiments: []service.Experiment{{
+			Name: "noop", Desc: "benchmark no-op",
+			Run: func(w io.Writer) error {
+				_, err := io.WriteString(w, "NOOP ok\n")
+				return err
+			},
+		}},
+		Stderr: io.Discard,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Start()
+	defer d.Close()
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		id, err := d.Submit(service.Spec{Exps: []string{"noop"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := d.Wait(id)
+		if err != nil || v.State != service.StateDone {
+			b.Fatalf("job %s ended %v: %v", id, v.State, err)
+		}
+	}
+	perJob := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(perJob, "s/job")
+	if reg := telemetry.Hub().Reg(); reg != nil {
+		reg.Set("perf.bench.job_overhead_s", perJob)
 	}
 }
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/service"
+)
+
+// daemonOptions collects the -daemon flag family.
+type daemonOptions struct {
+	addr         string
+	dir          string
+	queueCap     int
+	jobRetries   int
+	jobTimeout   time.Duration
+	drainTimeout time.Duration
+	eventBudget  uint64
+	parallel     int
+	retryBackoff time.Duration
+}
+
+// daemonReady, when non-nil, is invoked with the bound address right after
+// the listener opens — a test hook for -daemon 127.0.0.1:0.
+var daemonReady func(addr string)
+
+// runDaemon is the -daemon mode: a long-lived experiment job service. It
+// blocks until a shutdown signal and owns the exit code:
+//
+//	0  SIGTERM drain completed (running job finished, queue durable on disk)
+//	1  startup failure (directory, journal recovery, bind)
+//	3  SIGINT fast shutdown (running job checkpointed, resumes on restart)
+//	5  SIGTERM drain deadline hit (running job checkpointed, resumes on restart)
+//
+// Every exit path leaves the service directory recoverable: starting a new
+// daemon on it resumes exactly where this one stopped.
+func runDaemon(exps []experiment, opt daemonOptions, stderr io.Writer) int {
+	// The perf plane meters the daemon for /perf and perf.job.* the same
+	// way -serve enables it for a batch run.
+	perf.Enable()
+	defer perf.Disable()
+
+	svcExps := make([]service.Experiment, 0, len(exps))
+	for _, e := range exps {
+		svcExps = append(svcExps, service.Experiment{Name: e.name, Desc: e.desc, Run: e.run})
+	}
+	d, err := service.New(service.Config{
+		Dir:          opt.dir,
+		Experiments:  svcExps,
+		QueueCap:     opt.queueCap,
+		MaxAttempts:  opt.jobRetries,
+		EventBudget:  opt.eventBudget,
+		JobTimeout:   opt.jobTimeout,
+		Parallel:     opt.parallel,
+		RetryBackoff: opt.retryBackoff,
+		Stderr:       stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	d.Start()
+	defer d.Close()
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "daemon: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stderr, "daemon on http://%s (dir %s)\n", ln.Addr().String(), opt.dir)
+	if daemonReady != nil {
+		daemonReady(ln.Addr().String())
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sig := <-sigc
+
+	if sig == syscall.SIGTERM {
+		// Graceful drain: refuse new jobs (readiness goes 503), give the
+		// running job until the deadline, checkpoint it if it blows
+		// through. The distinct exit code tells the operator whether a
+		// restart has resumption work to do.
+		fmt.Fprintf(stderr, "daemon: caught %v, draining (deadline %s)\n", sig, opt.drainTimeout)
+		clean := d.Drain(opt.drainTimeout)
+		srv.Close()
+		if err := d.Close(); err != nil {
+			fmt.Fprintf(stderr, "daemon: close: %v\n", err)
+		}
+		if !clean {
+			fmt.Fprintln(stderr, "daemon: drain deadline hit; running job checkpointed, resume by restarting on the same -daemon-dir")
+			return 5
+		}
+		fmt.Fprintln(stderr, "daemon: drained clean")
+		return 0
+	}
+	// SIGINT: fast shutdown. The running job is checkpointed (its run
+	// journal survives), the queue stays on disk; exit 3 matches the batch
+	// CLI's killed-by-signal convention.
+	fmt.Fprintf(stderr, "daemon: caught %v, shutting down\n", sig)
+	srv.Close()
+	if err := d.Close(); err != nil {
+		fmt.Fprintf(stderr, "daemon: close: %v\n", err)
+	}
+	return 3
+}

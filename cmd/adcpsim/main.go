@@ -48,6 +48,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/runstate"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -110,6 +111,12 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	perfJSON := fs.String("perf-json", "", "write the wall-clock perf plane (events/s, allocations, pool utilization) as JSON to this file ('-' = stdout)")
+	daemonAddr := fs.String("daemon", "", "run as a long-lived experiment job daemon on this address (e.g. 127.0.0.1:8080): durable HTTP job queue with crash recovery (see docs/SERVICE.md)")
+	daemonDir := fs.String("daemon-dir", "", "service directory for -daemon: job journal plus per-job run directories and outputs (required with -daemon)")
+	queueCap := fs.Int("queue-cap", 16, "with -daemon: max live jobs (queued + running); submissions beyond it are shed with HTTP 429")
+	jobRetries := fs.Int("job-retries", 2, "with -daemon: max execution attempts per job before it is failed or quarantined")
+	jobTimeout := fs.Duration("job-timeout", 0, "with -daemon: default per-attempt wall-clock watchdog for jobs (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "with -daemon: how long a SIGTERM drain waits for the running job before checkpointing it")
 	runDir := fs.String("run-dir", "", "durable run directory: record a crash-safe journal of every completed experiment and sweep point (see docs/RESILIENCE.md)")
 	resume := fs.Bool("resume", false, "resume the journal in -run-dir: completed units replay from it instead of re-running; output is byte-identical to an uninterrupted run")
 	pointRetries := fs.Int("point-retries", 1, "max attempts per sweep point; >1 enables supervised retries with seeded exponential backoff, and a point that exhausts them is quarantined (excluded from the merge, reported, run exits 1)")
@@ -121,6 +128,25 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 	if *resume && *runDir == "" {
 		fmt.Fprintln(stderr, "-resume requires -run-dir")
 		return 2
+	}
+	if *daemonAddr != "" {
+		// Daemon mode owns the whole process: the batch flags that select
+		// or journal a single run make no sense alongside it.
+		if *daemonDir == "" {
+			fmt.Fprintln(stderr, "-daemon requires -daemon-dir")
+			return 2
+		}
+		if *expFlag != "" || *runDir != "" || *serveAddr != "" {
+			fmt.Fprintln(stderr, "-daemon is incompatible with -exp/-run-dir/-serve (jobs are submitted over HTTP; see docs/SERVICE.md)")
+			return 2
+		}
+		return runDaemon(exps, daemonOptions{
+			addr: *daemonAddr, dir: *daemonDir,
+			queueCap: *queueCap, jobRetries: *jobRetries,
+			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+			eventBudget: *expBudget, parallel: *parallelN,
+			retryBackoff: *retryBackoff,
+		}, stderr)
 	}
 	if *runDir != "" && (*tracePath != "" || *traceJSONLPath != "" || *spansPath != "") {
 		fmt.Fprintln(stderr, "-run-dir is incompatible with -trace/-trace-jsonl/-spans (traces are not journalable)")
@@ -364,7 +390,7 @@ func run(exps []experiment, args []string, stdout, stderr io.Writer) int {
 				attempt := journal.Status(unit).Attempts + 1
 				journal.Begin(unit, e.desc, 0, attempt)
 				mirror := telemetry.Mirror(tel)
-				capt := &captureOut{live: tableOut}
+				capt := service.NewCaptureOut(tableOut)
 				telemetry.WithDefault(mirror, func() {
 					err = runWatched(runCtx, e, capt, stderr, *expBudget, tel.Rec(), prof)
 				})

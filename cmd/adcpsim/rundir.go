@@ -1,8 +1,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -11,25 +9,29 @@ import (
 	"time"
 
 	"repro/internal/runstate"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
-// expPayloadSchema identifies the persisted per-experiment payload layout.
-const expPayloadSchema = "adcp-exp/1"
-
-// expPayload is what the run journal persists for one completed
-// experiment: its table output verbatim plus its encoded telemetry hub, so
-// a resumed run replays the experiment — bytes and metrics — without
-// re-running it.
-type expPayload struct {
-	Schema string          `json:"schema"`
-	Output string          `json:"output"`
-	Hub    json.RawMessage `json:"hub,omitempty"`
-}
+// The per-experiment persistence vocabulary (payload schema, unit names,
+// restore/persist rules, output capture) lives in internal/service, shared
+// verbatim with the job daemon so both planes journal experiments
+// identically. The CLI keeps thin aliases.
 
 // expUnit names an experiment's journal unit (sweep points inside it
 // journal separately as "point:<sweep>[i]" units).
-func expUnit(name string) string { return "exp:" + name }
+func expUnit(name string) string { return service.ExpUnit(name) }
+
+// restoreExperiment replays a completed experiment from the journal.
+func restoreExperiment(j *runstate.Journal, name string, wantHub bool) (string, *telemetry.Telemetry, bool) {
+	return service.RestoreExperiment(j, name, wantHub)
+}
+
+// persistExperiment commits a completed experiment's output and telemetry
+// to the journal.
+func persistExperiment(j *runstate.Journal, name, output string, hub *telemetry.Telemetry, withHub bool, stderr io.Writer) {
+	service.PersistExperiment(j, name, output, hub, withHub, stderr)
+}
 
 // configDigest canonicalizes the flags that change a run's deterministic
 // output — the experiment selection and every knob that shapes tables,
@@ -43,77 +45,6 @@ func configDigest(selected []string, sampleIntervalUS, sampleCap int, budget uin
 	canon := fmt.Sprintf("adcp-config/1 exps=%s sample-interval-us=%d sample-cap=%d event-budget=%d registry=%v sampler=%v detail=%v",
 		strings.Join(s, ","), sampleIntervalUS, sampleCap, budget, needReg, needSampler, detail)
 	return runstate.Digest([]byte(canon))
-}
-
-// restoreExperiment replays a completed experiment from the journal: its
-// captured table output and (when the run needs one) its decoded telemetry
-// hub, ready to merge. Any integrity or decode failure reports
-// not-restored, so the experiment simply re-runs.
-func restoreExperiment(j *runstate.Journal, name string, wantHub bool) (string, *telemetry.Telemetry, bool) {
-	payload, ok := j.LookupDone(expUnit(name))
-	if !ok {
-		return "", nil, false
-	}
-	var doc expPayload
-	if err := json.Unmarshal(payload, &doc); err != nil || doc.Schema != expPayloadSchema {
-		return "", nil, false
-	}
-	var hub *telemetry.Telemetry
-	if wantHub {
-		if len(doc.Hub) == 0 {
-			return "", nil, false
-		}
-		h, err := telemetry.DecodeHubState(doc.Hub)
-		if err != nil {
-			return "", nil, false
-		}
-		hub = h
-	}
-	return doc.Output, hub, true
-}
-
-// persistExperiment commits a completed experiment's output and telemetry
-// to the journal. Persistence failures are reported but never fail the
-// run — the experiment just re-runs on resume.
-func persistExperiment(j *runstate.Journal, name, output string, hub *telemetry.Telemetry, withHub bool, stderr io.Writer) {
-	doc := expPayload{Schema: expPayloadSchema, Output: output}
-	if withHub {
-		b, err := telemetry.EncodeHubState(hub)
-		if err != nil {
-			fmt.Fprintf(stderr, "runstate: encode %s: %v (experiment will re-run on resume)\n", expUnit(name), err)
-			return
-		}
-		doc.Hub = b
-	}
-	payload, err := json.Marshal(doc)
-	if err == nil {
-		err = j.Done(expUnit(name), payload)
-	}
-	if err != nil {
-		fmt.Fprintf(stderr, "runstate: persist %s: %v (experiment will re-run on resume)\n", expUnit(name), err)
-	}
-}
-
-// captureOut tees experiment output: bytes reach the live writer
-// immediately (progress stays visible) while the buffer accumulates the
-// experiment's verbatim output for the journal payload.
-type captureOut struct {
-	mu   sync.Mutex
-	live io.Writer
-	buf  bytes.Buffer
-}
-
-func (c *captureOut) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	c.buf.Write(p)
-	c.mu.Unlock()
-	return c.live.Write(p)
-}
-
-func (c *captureOut) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.buf.String()
 }
 
 // shutdownPlan is the one ordered teardown path every way out of the

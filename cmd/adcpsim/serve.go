@@ -27,6 +27,7 @@ import (
 //
 //	/metrics   Prometheus text exposition of the latest published snapshot
 //	/healthz   liveness probe: JSON status plus the binary's build identity
+//	/readyz    readiness probe: 503 once the run starts draining
 //	/progress  JSON per-experiment state with wall and simulated time
 //	/perf      wall-clock perf plane document (events/s, allocations, pool)
 //	/debug/pprof/...  standard pprof handlers
@@ -35,7 +36,8 @@ type obsServer struct {
 	srv     *http.Server
 	sampler *telemetry.Sampler
 
-	snap atomic.Pointer[telemetry.Snapshot]
+	snap     atomic.Pointer[telemetry.Snapshot]
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	order   []string
@@ -109,6 +111,24 @@ func startServer(addr string, tel *telemetry.Telemetry, expNames []string) (*obs
 			Status string         `json:"status"`
 			Build  perf.BuildInfo `json:"build"`
 		}{Status: "ok", Build: perf.Build()})
+	})
+	// Liveness (/healthz: the process is up) and readiness (/readyz: the
+	// run is still serving) split so an orchestrator can tell "restart me"
+	// from "stop sending traffic". The batch plane drains exactly once, at
+	// the end of the run; the job daemon's readiness also reflects
+	// admission state (see internal/service).
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(struct {
+				Status string `json:"status"`
+			}{Status: "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(struct {
+			Status string `json:"status"`
+		}{Status: "ready"})
 	})
 	// The perf document is wall-clock data read from atomics and a
 	// mutex-guarded memstats cache, so unlike /metrics it can snapshot the
@@ -226,6 +246,7 @@ func (s *obsServer) Close() {
 	if s == nil {
 		return
 	}
+	s.draining.Store(true)
 	s.srv.Close()
 }
 
@@ -237,6 +258,7 @@ func (s *obsServer) Drain(d time.Duration) {
 	if s == nil {
 		return
 	}
+	s.draining.Store(true)
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	if err := s.srv.Shutdown(ctx); err != nil {

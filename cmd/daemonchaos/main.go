@@ -1,0 +1,318 @@
+// Command daemonchaos is the blocking CI gate for the experiment job
+// daemon (`adcpsim -daemon`, internal/service). It rehearses the crash
+// story end to end with real processes and a real SIGKILL:
+//
+//  1. record batch-CLI goldens for two good job selections,
+//  2. start the daemon and submit a mixed batch — good jobs around a
+//     poison job (event budget 1, so every attempt dies with a budget
+//     error),
+//  3. SIGKILL the daemon at a randomized (logged, seed-reproducible)
+//     delay,
+//  4. restart it on the same directory and wait for every job to reach
+//     a terminal state,
+//  5. demand the good jobs completed with results and metrics
+//     byte-identical to the CLI goldens, the poison job was quarantined
+//     with class "budget" without taking the service down, and the
+//     restarted daemon still reports ready,
+//  6. SIGTERM the daemon and demand the clean-drain exit code 0.
+//
+// Any violation exits nonzero with the failing assertion on stderr; CI
+// uploads the service directory (job journal and per-job run journals)
+// as an artifact for post-mortem.
+//
+// Usage:
+//
+//	daemonchaos -bin ./adcpsim.bin -dir /tmp/daemon-chaos [-seed N]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+type chaos struct {
+	bin, dir string
+	stderr   io.Writer
+	failures int
+}
+
+func (c *chaos) logf(format string, args ...any) {
+	fmt.Fprintf(c.stderr, "daemonchaos: "+format+"\n", args...)
+}
+
+func (c *chaos) failf(format string, args ...any) {
+	c.failures++
+	fmt.Fprintf(c.stderr, "daemonchaos: FAIL: "+format+"\n", args...)
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("daemonchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bin := fs.String("bin", "", "path to a built adcpsim binary (required)")
+	dir := fs.String("dir", "", "scratch directory; wiped at start (required)")
+	seed := fs.Int64("seed", 0, "kill-delay seed; 0 derives one from the clock (logged either way)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *bin == "" || *dir == "" {
+		fmt.Fprintln(stderr, "daemonchaos: -bin and -dir are required")
+		return 2
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	if err := os.RemoveAll(*dir); err != nil {
+		fmt.Fprintf(stderr, "daemonchaos: %v\n", err)
+		return 1
+	}
+	if err := os.MkdirAll(*dir, 0o777); err != nil {
+		fmt.Fprintf(stderr, "daemonchaos: %v\n", err)
+		return 1
+	}
+
+	c := &chaos{bin: *bin, dir: *dir, stderr: stderr}
+	if err := c.play(*seed); err != nil {
+		c.failf("%v", err)
+	}
+	if c.failures > 0 {
+		c.logf("%d failure(s); journals left in %s", c.failures, *dir)
+		return 1
+	}
+	c.logf("ok: recovery byte-identical, poison quarantined, drain clean (seed %d)", *seed)
+	return 0
+}
+
+// golden captures the batch CLI's stdout and -metrics export for a
+// selection — the byte-identity reference the daemon must reproduce.
+type golden struct {
+	sel     string // comma-separated CLI selection
+	spec    string // job spec JSON for the same selection
+	out     []byte
+	metrics []byte
+	id      string // job id once submitted
+}
+
+func (c *chaos) play(seed int64) error {
+	goldens := []*golden{
+		{sel: "faults,failover", spec: `{"exps":["faults","failover"]}`},
+		{sel: "tension", spec: `{"exps":["tension"]}`},
+	}
+	for i, g := range goldens {
+		mfile := filepath.Join(c.dir, fmt.Sprintf("want%d.json", i))
+		cmd := exec.Command(c.bin, "-exp", g.sel, "-metrics", mfile)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = io.Discard
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("golden CLI run of %q: %v", g.sel, err)
+		}
+		g.out = out.Bytes()
+		var err error
+		if g.metrics, err = os.ReadFile(mfile); err != nil {
+			return err
+		}
+		c.logf("golden %q: %d bytes stdout, %d bytes metrics", g.sel, len(g.out), len(g.metrics))
+	}
+
+	svcDir := filepath.Join(c.dir, "svc")
+	d1, base, err := c.startDaemon(svcDir)
+	if err != nil {
+		return err
+	}
+	defer d1.Process.Kill()
+
+	// Good job, poison job, good job: the executor is serial, so the kill
+	// can land inside any of them — or between them — and the poison job
+	// exercises retry + quarantine across the restart when it does.
+	g0id, err := c.submit(base, goldens[0].spec)
+	if err != nil {
+		return err
+	}
+	goldens[0].id = g0id
+	poisonID, err := c.submit(base, `{"exps":["saturation"],"event_budget":1}`)
+	if err != nil {
+		return err
+	}
+	g1id, err := c.submit(base, goldens[1].spec)
+	if err != nil {
+		return err
+	}
+	goldens[1].id = g1id
+
+	delay := time.Duration(50+rand.New(rand.NewSource(seed)).Intn(450)) * time.Millisecond
+	c.logf("seed %d: SIGKILL after %v", seed, delay)
+	time.Sleep(delay)
+	if err := d1.Process.Signal(syscall.SIGKILL); err != nil {
+		c.logf("kill: %v (daemon already gone?)", err)
+	}
+	d1.Wait()
+
+	d2, base, err := c.startDaemon(svcDir)
+	if err != nil {
+		return fmt.Errorf("restart after SIGKILL: %w", err)
+	}
+	defer d2.Process.Kill()
+	c.logf("restarted on %s", base)
+
+	for _, g := range goldens {
+		doc, err := c.pollTerminal(base, g.id, 5*time.Minute)
+		if err != nil {
+			return err
+		}
+		if doc["state"] != "done" {
+			c.failf("job %s (%s) ended %v (class %v, error %v), want done",
+				g.id, g.sel, doc["state"], doc["class"], doc["error"])
+			continue
+		}
+		gotOut, err := c.get(base + "/jobs/" + g.id + "/result")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotOut, g.out) {
+			c.failf("job %s (%s): result differs from CLI stdout (kill at %v)", g.id, g.sel, delay)
+			os.WriteFile(filepath.Join(c.dir, g.id+".got.out"), gotOut, 0o666)
+			os.WriteFile(filepath.Join(c.dir, g.id+".want.out"), g.out, 0o666)
+		}
+		gotM, err := c.get(base + "/jobs/" + g.id + "/metrics.json")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotM, g.metrics) {
+			c.failf("job %s (%s): metrics.json differs from CLI -metrics (kill at %v)", g.id, g.sel, delay)
+			os.WriteFile(filepath.Join(c.dir, g.id+".got.json"), gotM, 0o666)
+			os.WriteFile(filepath.Join(c.dir, g.id+".want.json"), g.metrics, 0o666)
+		}
+	}
+
+	pdoc, err := c.pollTerminal(base, poisonID, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	if pdoc["state"] != "quarantined" {
+		c.failf("poison job %s ended %v (class %v), want quarantined", poisonID, pdoc["state"], pdoc["class"])
+	} else if pdoc["class"] != "budget" && pdoc["class"] != "crash-loop" {
+		// crash-loop is legitimate when the SIGKILL repeatedly lands inside
+		// the poison job's attempts; either way it must be quarantined.
+		c.failf("poison job %s quarantine class %v, want budget or crash-loop", poisonID, pdoc["class"])
+	}
+
+	// The service survived the poison job and reports ready.
+	if body, err := c.get(base + "/readyz"); err != nil {
+		c.failf("/readyz after recovery: %v", err)
+	} else if !strings.Contains(string(body), "ready") {
+		c.failf("/readyz after recovery: %s", body)
+	}
+
+	// Clean SIGTERM drain must exit 0 — the "restart me" / "all good"
+	// distinction an orchestrator keys on.
+	if err := d2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := d2.Wait(); err != nil {
+		c.failf("SIGTERM drain exited non-zero: %v", err)
+	}
+	return nil
+}
+
+// startDaemon launches the daemon on dir and returns once it reports its
+// listening address on stderr.
+func (c *chaos) startDaemon(dir string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(c.bin, "-daemon", "127.0.0.1:0", "-daemon-dir", dir, "-job-retries", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "daemon on http://"); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+			fmt.Fprintf(c.stderr, "[daemon] %s\n", line)
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("daemon did not report its address within 30s")
+	}
+}
+
+func (c *chaos) submit(base, spec string) (string, error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.ID == "" {
+		return "", fmt.Errorf("bad submit response: %v %q", err, doc.ID)
+	}
+	c.logf("submitted %s: %s", doc.ID, spec)
+	return doc.ID, nil
+}
+
+func (c *chaos) pollTerminal(base, id string, timeout time.Duration) (map[string]any, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err == nil {
+			var doc map[string]any
+			json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			switch doc["state"] {
+			case "done", "failed", "quarantined", "cancelled":
+				c.logf("job %s: %v (class %v)", id, doc["state"], doc["class"])
+				return doc, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s did not reach a terminal state in %v", id, timeout)
+}
+
+func (c *chaos) get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

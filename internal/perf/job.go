@@ -1,0 +1,52 @@
+package perf
+
+import "time"
+
+// Experiment-service job accounting: the daemon (internal/service) reports
+// each job's admission-queue wait when it starts, every extra attempt the
+// supervised retry plane grants it, and its total busy time when it
+// reaches a terminal state. Like the pool series these are wall-clock
+// facts about the machine, not the simulation, so they live in the perf
+// plane and are exported only through `-perf-json` and `/perf`.
+
+// JobStart records one job leaving the admission queue for execution,
+// with the wall time it spent queued. Safe on a nil plane.
+func (p *Plane) JobStart(queueWait time.Duration) {
+	if p == nil {
+		return
+	}
+	p.jobsStarted.Add(1)
+	p.jobsActive.Add(1)
+	p.jobQueueWaitNs.Add(queueWait.Nanoseconds())
+}
+
+// JobAttempt counts one retried job attempt (an attempt after the first).
+// Safe on a nil plane.
+func (p *Plane) JobAttempt() {
+	if p == nil {
+		return
+	}
+	p.jobAttempts.Add(1)
+}
+
+// JobEnd records one job reaching a terminal state, with its cumulative
+// execution (busy) time across attempts. Safe on a nil plane.
+func (p *Plane) JobEnd(busy time.Duration) {
+	if p == nil {
+		return
+	}
+	p.jobsDone.Add(1)
+	p.jobsActive.Add(-1)
+	p.jobBusyNs.Add(busy.Nanoseconds())
+}
+
+// registerJobSeries wires the perf.job.* series over the job aggregates.
+func (p *Plane) registerJobSeries() {
+	reg := p.reg
+	reg.ObserveFunc("perf.job.started", func() float64 { return float64(p.jobsStarted.Load()) })
+	reg.ObserveFunc("perf.job.completed", func() float64 { return float64(p.jobsDone.Load()) })
+	reg.ObserveFunc("perf.job.active", func() float64 { return float64(p.jobsActive.Load()) })
+	reg.ObserveFunc("perf.job.attempts_retried", func() float64 { return float64(p.jobAttempts.Load()) })
+	reg.ObserveFunc("perf.job.queue_wait_s", func() float64 { return float64(p.jobQueueWaitNs.Load()) / 1e9 })
+	reg.ObserveFunc("perf.job.busy_s", func() float64 { return float64(p.jobBusyNs.Load()) / 1e9 })
+}

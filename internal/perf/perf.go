@@ -73,6 +73,14 @@ type Plane struct {
 	retryRetries     atomic.Uint64
 	retryQuarantined atomic.Uint64
 	resumeRestored   atomic.Uint64
+
+	// Experiment-service job accounting (fed by internal/service).
+	jobsStarted    atomic.Uint64
+	jobsDone       atomic.Uint64
+	jobsActive     atomic.Int64
+	jobAttempts    atomic.Uint64
+	jobQueueWaitNs atomic.Int64
+	jobBusyNs      atomic.Int64
 }
 
 type workerStats struct {
@@ -152,6 +160,8 @@ func (p *Plane) register() {
 	reg.ObserveFunc("perf.retry.retries", func() float64 { return float64(p.retryRetries.Load()) })
 	reg.ObserveFunc("perf.retry.quarantined", func() float64 { return float64(p.retryQuarantined.Load()) })
 	reg.ObserveFunc("perf.resume.restored", func() float64 { return float64(p.resumeRestored.Load()) })
+
+	p.registerJobSeries()
 
 	reg.ObserveFunc("perf.pool.runs", func() float64 { return float64(p.poolRuns.Load()) })
 	reg.ObserveFunc("perf.pool.wall_s", func() float64 { return float64(p.poolWallNs.Load()) / 1e9 })

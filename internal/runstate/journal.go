@@ -49,57 +49,76 @@ const quarantineDir = "quarantine"
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// frame encodes one record line: "<len> <crc32c-hex> <json>\n". The length
-// and checksum cover the JSON bytes, so replay detects both torn tails
-// (short final line) and bit rot (checksum mismatch mid-file).
+// errLogClosed is returned by appends to a closed Log or Journal.
+var errLogClosed = errors.New("runstate: journal closed")
+
+// frameBody encodes one record line: "<len> <crc32c-hex> <json>\n". The
+// length and checksum cover the JSON bytes, so replay detects both torn
+// tails (short final line) and bit rot (checksum mismatch mid-file).
+func frameBody(body []byte) []byte {
+	return []byte(fmt.Sprintf("%d %08x %s\n", len(body), crc32.Checksum(body, crcTable), body))
+}
+
+// frame encodes one run-journal record line.
 func frame(rec Record) ([]byte, error) {
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return nil, err
 	}
-	line := fmt.Sprintf("%d %08x %s\n", len(body), crc32.Checksum(body, crcTable), body)
-	return []byte(line), nil
+	return frameBody(body), nil
 }
 
-// parseLine decodes one framed line (without trailing newline).
-func parseLine(line []byte) (Record, error) {
-	var rec Record
+// parseFrame validates one framed line (without trailing newline) and
+// returns its body bytes.
+func parseFrame(line []byte) ([]byte, error) {
 	s := string(line)
 	sp1 := strings.IndexByte(s, ' ')
 	if sp1 < 0 {
-		return rec, errors.New("missing length field")
+		return nil, errors.New("missing length field")
 	}
 	sp2 := strings.IndexByte(s[sp1+1:], ' ')
 	if sp2 < 0 {
-		return rec, errors.New("missing checksum field")
+		return nil, errors.New("missing checksum field")
 	}
 	sp2 += sp1 + 1
 	n, err := strconv.Atoi(s[:sp1])
 	if err != nil {
-		return rec, fmt.Errorf("bad length: %w", err)
+		return nil, fmt.Errorf("bad length: %w", err)
 	}
 	wantCRC, err := strconv.ParseUint(s[sp1+1:sp2], 16, 32)
 	if err != nil {
-		return rec, fmt.Errorf("bad checksum: %w", err)
+		return nil, fmt.Errorf("bad checksum: %w", err)
 	}
-	body := s[sp2+1:]
+	body := line[sp2+1:]
 	if len(body) != n {
-		return rec, fmt.Errorf("length %d, frame says %d", len(body), n)
+		return nil, fmt.Errorf("length %d, frame says %d", len(body), n)
 	}
-	if got := crc32.Checksum([]byte(body), crcTable); uint32(wantCRC) != got {
-		return rec, fmt.Errorf("checksum %08x, frame says %08x", got, wantCRC)
+	if got := crc32.Checksum(body, crcTable); uint32(wantCRC) != got {
+		return nil, fmt.Errorf("checksum %08x, frame says %08x", got, wantCRC)
 	}
-	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+	return body, nil
+}
+
+// parseLine decodes one framed run-journal line (without trailing newline).
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	body, err := parseFrame(line)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
 		return rec, fmt.Errorf("bad record JSON: %w", err)
 	}
 	return rec, nil
 }
 
-// Replay parses a journal byte stream into its committed records. A torn
-// tail — an invalid or incomplete *final* line, the only damage an
-// append-only crash can inflict — is tolerated and reported via torn;
-// damage anywhere earlier is corruption and returns an error.
-func Replay(data []byte) (recs []Record, torn bool, err error) {
+// replayFrames walks data's framed lines, calling emit with each committed
+// body. A frame (or emit) error on the *final* line — the only damage an
+// append-only crash can inflict — is tolerated and reported via torn:
+// each record commits as one write+fsync including its newline, so a
+// damaged or unterminated final record never committed. Damage anywhere
+// earlier is corruption and returns an error.
+func replayFrames(data []byte, emit func(body []byte) error) (torn bool, err error) {
 	off := 0
 	for off < len(data) {
 		nl := -1
@@ -110,24 +129,40 @@ func Replay(data []byte) (recs []Record, torn bool, err error) {
 			}
 		}
 		if nl < 0 {
-			// Unterminated final line: torn mid-record. Each record commits
-			// as one write+fsync including its newline, so an unterminated
-			// record never committed — drop it; the unit re-runs.
-			return recs, true, nil
+			return true, nil
 		}
-		rec, perr := parseLine(data[off:nl])
+		body, perr := parseFrame(data[off:nl])
+		if perr == nil {
+			perr = emit(body)
+		}
 		if perr != nil {
 			if nl == len(data)-1 {
-				// Invalid but final line: tail-only damage, tolerated like
-				// an unterminated tail.
-				return recs, true, nil
+				return true, nil
 			}
-			return recs, false, fmt.Errorf("runstate: journal corrupt at byte %d: %v", off, perr)
+			return false, fmt.Errorf("runstate: journal corrupt at byte %d: %v", off, perr)
 		}
-		recs = append(recs, rec)
 		off = nl + 1
 	}
-	return recs, false, nil
+	return false, nil
+}
+
+// Replay parses a run-journal byte stream into its committed records. A
+// torn tail — an invalid or incomplete *final* line — is tolerated and
+// reported via torn; damage anywhere earlier is corruption and returns an
+// error.
+func Replay(data []byte) (recs []Record, torn bool, err error) {
+	torn, err = replayFrames(data, func(body []byte) error {
+		var rec Record
+		if uerr := json.Unmarshal(body, &rec); uerr != nil {
+			return fmt.Errorf("bad record JSON: %w", uerr)
+		}
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return recs, torn, nil
 }
 
 // UnitStatus summarizes what the journal knows about one unit after replay.
@@ -330,7 +365,7 @@ func (j *Journal) append(rec Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return errors.New("runstate: journal closed")
+		return errLogClosed
 	}
 	j.apply(rec)
 	if _, err := j.f.Write(line); err != nil {

@@ -1,0 +1,98 @@
+package runstate
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// Log is a generic crash-safe append-only record log using the same
+// len+crc32c framing (and therefore the same torn-tail tolerance) as the
+// run journal. The run journal records units of one run; a Log records
+// whatever its owner appends — the experiment service daemon journals its
+// job lifecycle through one. Every Append is a single write followed by an
+// fsync, so a kill -9 loses at most the record being written, which replay
+// then drops as a torn tail.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// ReplayRaw parses a framed byte stream into its committed record bodies.
+// Like Replay, a torn *final* line — the only damage an append-only crash
+// can inflict — is tolerated and reported via torn; damage anywhere earlier
+// is corruption and returns an error. Bodies are returned verbatim; the
+// caller owns their schema.
+func ReplayRaw(data []byte) (bodies [][]byte, torn bool, err error) {
+	torn, err = replayFrames(data, func(body []byte) error {
+		b := make([]byte, len(body))
+		copy(b, body)
+		bodies = append(bodies, b)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return bodies, torn, nil
+}
+
+// OpenLog opens (creating if absent) the framed log at path and replays
+// its committed records. A torn tail is truncated so the returned Log
+// appends on a clean record boundary. The returned bodies are the
+// committed records in append order; torn reports whether a tail was
+// dropped.
+func OpenLog(path string) (*Log, [][]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, false, err
+	}
+	var bodies [][]byte
+	torn := false
+	if err == nil {
+		bodies, torn, err = ReplayRaw(data)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if torn {
+			if terr := os.Truncate(path, int64(committedLen(data))); terr != nil {
+				return nil, nil, false, terr
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return &Log{f: f}, bodies, torn, nil
+}
+
+// Append frames v's JSON encoding and durably commits it (one write, one
+// fsync). Safe for concurrent use.
+func (l *Log) Append(v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line := frameBody(body)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the log file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}

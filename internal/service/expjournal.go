@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/runstate"
+	"repro/internal/telemetry"
+)
+
+// This file is the shared persistence vocabulary for completed
+// experiments. It moved here from cmd/adcpsim so the batch CLI and the
+// job daemon journal experiments identically — same schema, same unit
+// names, same restore rules — which is what lets a job killed under one
+// plane resume under the other tooling (and what keeps daemon output
+// byte-identical to the CLI's).
+
+// ExpPayloadSchema identifies the persisted per-experiment payload layout.
+const ExpPayloadSchema = "adcp-exp/1"
+
+// expPayload is what the run journal persists for one completed
+// experiment: its table output verbatim plus its encoded telemetry hub, so
+// a resumed run replays the experiment — bytes and metrics — without
+// re-running it.
+type expPayload struct {
+	Schema string          `json:"schema"`
+	Output string          `json:"output"`
+	Hub    json.RawMessage `json:"hub,omitempty"`
+}
+
+// ExpUnit names an experiment's journal unit (sweep points inside it
+// journal separately as "point:<sweep>[i]" units).
+func ExpUnit(name string) string { return "exp:" + name }
+
+// RestoreExperiment replays a completed experiment from the journal: its
+// captured table output and (when the run needs one) its decoded telemetry
+// hub, ready to merge. Any integrity or decode failure reports
+// not-restored, so the experiment simply re-runs.
+func RestoreExperiment(j *runstate.Journal, name string, wantHub bool) (string, *telemetry.Telemetry, bool) {
+	payload, ok := j.LookupDone(ExpUnit(name))
+	if !ok {
+		return "", nil, false
+	}
+	var doc expPayload
+	if err := json.Unmarshal(payload, &doc); err != nil || doc.Schema != ExpPayloadSchema {
+		return "", nil, false
+	}
+	var hub *telemetry.Telemetry
+	if wantHub {
+		if len(doc.Hub) == 0 {
+			return "", nil, false
+		}
+		h, err := telemetry.DecodeHubState(doc.Hub)
+		if err != nil {
+			return "", nil, false
+		}
+		hub = h
+	}
+	return doc.Output, hub, true
+}
+
+// PersistExperiment commits a completed experiment's output and telemetry
+// to the journal. Persistence failures are reported but never fail the
+// run — the experiment just re-runs on resume.
+func PersistExperiment(j *runstate.Journal, name, output string, hub *telemetry.Telemetry, withHub bool, stderr io.Writer) {
+	doc := expPayload{Schema: ExpPayloadSchema, Output: output}
+	if withHub {
+		b, err := telemetry.EncodeHubState(hub)
+		if err != nil {
+			fmt.Fprintf(stderr, "runstate: encode %s: %v (experiment will re-run on resume)\n", ExpUnit(name), err)
+			return
+		}
+		doc.Hub = b
+	}
+	payload, err := json.Marshal(doc)
+	if err == nil {
+		err = j.Done(ExpUnit(name), payload)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "runstate: persist %s: %v (experiment will re-run on resume)\n", ExpUnit(name), err)
+	}
+}
+
+// CaptureOut tees experiment output: bytes reach the live writer
+// immediately (progress stays visible) while the buffer accumulates the
+// experiment's verbatim output for the journal payload.
+type CaptureOut struct {
+	mu   sync.Mutex
+	live io.Writer
+	buf  bytes.Buffer
+}
+
+// NewCaptureOut returns a CaptureOut teeing to live.
+func NewCaptureOut(live io.Writer) *CaptureOut { return &CaptureOut{live: live} }
+
+func (c *CaptureOut) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.buf.Write(p)
+	c.mu.Unlock()
+	return c.live.Write(p)
+}
+
+// String returns everything written so far.
+func (c *CaptureOut) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String()
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runstate"
+)
+
+// JobJournalSchema identifies the job journal record layout.
+const JobJournalSchema = "adcp-job/1"
+
+// jobJournalFile is the journal's filename inside the service directory.
+const jobJournalFile = "jobs.jsonl"
+
+// Journal record ops, in lifecycle order. "svc" is the header record every
+// journal starts with; the rest mirror the FSM edges one-to-one, so a
+// replayed journal IS the queue state.
+const (
+	opSvc        = "svc"        // header: schema + queue capacity at creation
+	opSubmit     = "submit"     // job accepted: id + full spec
+	opAdmit      = "admit"      // executor claimed the job
+	opStart      = "start"      // attempt N began executing
+	opDone       = "done"       // results committed; out/metrics digests recorded
+	opFail       = "fail"       // terminal failure (attempts exhausted, class "error")
+	opQuarantine = "quarantine" // terminal quarantine (poison class or crash loop)
+	opCancel     = "cancel"     // terminal cancellation via the API
+)
+
+// jobRecord is one line of the job journal. Op selects which fields are
+// meaningful; unknown fields in old journals are ignored, unknown ops are
+// an error (schema bump territory).
+type jobRecord struct {
+	Op     string `json:"op"`
+	Schema string `json:"schema,omitempty"` // opSvc only
+	Cap    int    `json:"cap,omitempty"`    // opSvc: queue capacity
+
+	ID      string `json:"id,omitempty"`
+	Spec    *Spec  `json:"spec,omitempty"`    // opSubmit
+	Attempt int    `json:"attempt,omitempty"` // opStart: 1-based attempt number
+	Class   string `json:"class,omitempty"`   // opFail/opQuarantine: failure class
+	Err     string `json:"err,omitempty"`     // opFail/opQuarantine/opCancel: message
+
+	OutDigest     string `json:"out_digest,omitempty"`     // opDone: sha256 of out.txt
+	MetricsDigest string `json:"metrics_digest,omitempty"` // opDone: sha256 of metrics.json
+}
+
+// jobJournal wraps the generic crash-safe log with the adcp-job/1 record
+// vocabulary. One exists per daemon; every FSM transition appends (and
+// fsyncs) exactly one record before the in-memory state changes, so the
+// disk is never behind the truth a crash must recover.
+type jobJournal struct {
+	log *runstate.Log
+}
+
+// openJobJournal opens (creating if needed) the job journal under dir and
+// replays its committed records. A fresh journal gets the header record; an
+// existing one must lead with a matching header or the open fails — a
+// foreign or future-schema directory should refuse loudly, not half-load.
+func openJobJournal(dir string) (*jobJournal, []jobRecord, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	log, bodies, _, err := runstate.OpenLog(filepath.Join(dir, jobJournalFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]jobRecord, 0, len(bodies))
+	for i, b := range bodies {
+		var r jobRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("service: job journal record %d: %w", i, err)
+		}
+		recs = append(recs, r)
+	}
+	j := &jobJournal{log: log}
+	if len(recs) == 0 {
+		if err := j.append(jobRecord{Op: opSvc, Schema: JobJournalSchema}); err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+	if recs[0].Op != opSvc || recs[0].Schema != JobJournalSchema {
+		log.Close()
+		return nil, nil, fmt.Errorf("service: job journal has schema %q, want %q", recs[0].Schema, JobJournalSchema)
+	}
+	return j, recs[1:], nil
+}
+
+func (j *jobJournal) append(r jobRecord) error { return j.log.Append(r) }
+
+func (j *jobJournal) close() error { return j.log.Close() }
+
+// replayJob is a job's state as reconstructed from the journal: the fold
+// of its records over the FSM.
+type replayJob struct {
+	id      string
+	spec    Spec
+	state   State
+	starts  int // total opStart records ever seen (crash-loop detector input)
+	attempt int // latest attempt number
+	class   string
+	errMsg  string
+	outDig  string
+	metDig  string
+}
+
+// replayJobs folds journal records into per-job states, returning them in
+// submission order. A record for an unknown id or an illegal FSM edge is
+// corruption — the journal only ever records transitions the live daemon
+// validated, so replay re-validates them.
+func replayJobs(recs []jobRecord) ([]*replayJob, error) {
+	byID := make(map[string]*replayJob)
+	var order []*replayJob
+	for i, r := range recs {
+		if r.Op == opSubmit {
+			if byID[r.ID] != nil {
+				return nil, fmt.Errorf("service: job journal record %d: duplicate submit for %s", i, r.ID)
+			}
+			if r.Spec == nil {
+				return nil, fmt.Errorf("service: job journal record %d: submit without spec", i)
+			}
+			job := &replayJob{id: r.ID, spec: *r.Spec, state: StateQueued}
+			byID[r.ID] = job
+			order = append(order, job)
+			continue
+		}
+		job := byID[r.ID]
+		if job == nil {
+			return nil, fmt.Errorf("service: job journal record %d: %s for unknown job %q", i, r.Op, r.ID)
+		}
+		var next State
+		switch r.Op {
+		case opAdmit:
+			next = StateAdmitted
+		case opStart:
+			next = StateRunning
+			job.starts++
+			job.attempt = r.Attempt
+		case opDone:
+			next = StateDone
+			job.outDig = r.OutDigest
+			job.metDig = r.MetricsDigest
+		case opFail:
+			next = StateFailed
+			job.class, job.errMsg = r.Class, r.Err
+		case opQuarantine:
+			next = StateQuarantined
+			job.class, job.errMsg = r.Class, r.Err
+		case opCancel:
+			next = StateCancelled
+			job.errMsg = r.Err
+		default:
+			return nil, fmt.Errorf("service: job journal record %d: unknown op %q", i, r.Op)
+		}
+		// opStart on an already-running job is legal: it is what a crash
+		// between attempts leaves behind (start N, crash, start N again
+		// after recovery re-queues it would emit admit first — but a retry
+		// within one daemon life emits start N+1 directly).
+		if job.state == StateRunning && next == StateRunning {
+			continue
+		}
+		if !canTransition(job.state, next) {
+			return nil, fmt.Errorf("service: job journal record %d: illegal transition %s → %s for %s", i, job.state, next, job.id)
+		}
+		job.state = next
+	}
+	return order, nil
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/runstate"
+	"repro/internal/telemetry"
+)
+
+// Per-job artifact filenames under <dir>/jobs/<id>/.
+const (
+	jobRunDir      = "run"          // run journal directory (runstate format)
+	jobOutFile     = "out.txt"      // experiment tables, byte-identical to the CLI
+	jobMetricsFile = "metrics.json" // deterministic metrics export (adcp-metrics)
+	jobFlightFile  = "flight.txt"   // flight-recorder dump of the last failed attempt
+)
+
+// attemptOutcome is what one execution attempt reports back to the retry
+// loop in runJob.
+type attemptOutcome struct {
+	outDigest     string
+	metricsDigest string
+	err           error  // nil = every experiment succeeded and outputs committed
+	class         string // parallel.Classify of the worst failure
+}
+
+// classRank orders failure classes by how strongly they indict the job
+// itself: a panic or watchdog trip or budget exhaustion is poison (the job
+// would hurt the next attempt too), a plain error is just a failure.
+func classRank(class string) int {
+	switch class {
+	case "panic":
+		return 3
+	case "watchdog":
+		return 2
+	case "budget":
+		return 1
+	}
+	return 0
+}
+
+// executeAttempt runs one attempt of a job: open (or resume) the job's
+// private run journal, run the spec's experiments exactly as the batch CLI
+// does — restored units replay, fresh ones run in a mirror hub and persist
+// before merging — then commit out.txt and metrics.json atomically.
+//
+// The output contract is the whole point: a done job's out.txt is
+// byte-identical to `adcpsim -exp <sel>` stdout and its metrics.json to
+// the CLI's -metrics export, at any attempt count and across any number of
+// daemon crashes, because both planes share the same journal schema,
+// restore rules, and table framing.
+func (d *Daemon) executeAttempt(ctx context.Context, j *job, attempt int) attemptOutcome {
+	jobDir := d.jobDir(j.id)
+	if err := os.MkdirAll(jobDir, 0o777); err != nil {
+		return attemptOutcome{err: err, class: "error"}
+	}
+	runDir := filepath.Join(jobDir, jobRunDir)
+	jr, err := d.openRunJournal(runDir, j)
+	if err != nil {
+		return attemptOutcome{err: err, class: "error"}
+	}
+	// The experiment layer's journal knob is process-global; serial job
+	// execution (see package comment) is what makes this safe. Clearing it
+	// and closing the journal before returning fences off any goroutine a
+	// tripped watchdog abandoned — its late unit writes fail on the closed
+	// journal instead of landing in the next job's.
+	experiments.SetJournal(jr)
+	defer experiments.SetJournal(nil)
+	defer jr.Close()
+
+	budget := j.spec.EventBudget
+	if budget == 0 {
+		budget = d.cfg.EventBudget
+	}
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Flight:  telemetry.NewFlightRecorder(0),
+	}
+
+	var out bytes.Buffer
+	var failed []string
+	var firstErr error
+	worst := ""
+	for _, e := range d.resolve(j.spec) {
+		if ctx.Err() != nil {
+			// Deadline or cancellation mid-job: remaining experiments are
+			// skipped-as-failed, exactly like the CLI under -exp-timeout.
+			d.setProgress(j, e.Name, "failed")
+			failed = append(failed, e.Name)
+			if firstErr == nil {
+				firstErr = &experiments.WatchdogError{Name: e.Name, Err: ctx.Err()}
+				worst = "watchdog"
+			}
+			continue
+		}
+		if restored, hub, ok := RestoreExperiment(jr, e.Name, true); ok {
+			out.WriteString(restored)
+			if hub != nil {
+				telemetry.Merge(tel, hub)
+			}
+			out.WriteByte('\n')
+			perf.Active().ResumeRestored()
+			d.setProgress(j, e.Name, "restored")
+			d.publishSnapshot(j, tel)
+			continue
+		}
+		d.setProgress(j, e.Name, "running")
+		unit := ExpUnit(e.Name)
+		expAttempt := jr.Status(unit).Attempts + 1
+		jr.Begin(unit, e.Desc, 0, expAttempt)
+		// Run in a mirror hub with captured output, and persist BEFORE
+		// merging: Merge renumbers the mirror's instance labels in place to
+		// the live hub's sequence, so a later encode would journal global
+		// numbering and double-shift on restore.
+		mirror := telemetry.Mirror(tel)
+		capt := NewCaptureOut(io.Discard)
+		var runErr error
+		telemetry.WithDefault(mirror, func() {
+			runErr = experiments.Run(ctx, e.Name, budget, func() error { return e.Run(capt) })
+		})
+		if runErr == nil {
+			PersistExperiment(jr, e.Name, capt.String(), mirror, true, d.cfg.Stderr)
+			telemetry.Merge(tel, mirror)
+			out.WriteString(capt.String())
+			out.WriteByte('\n')
+			d.setProgress(j, e.Name, "done")
+		} else {
+			class := parallel.Classify(runErr)
+			jr.Fail(unit, expAttempt, class, runErr.Error())
+			telemetry.Merge(tel, mirror)
+			d.setProgress(j, e.Name, "failed")
+			failed = append(failed, e.Name)
+			if firstErr == nil {
+				firstErr = runErr
+			}
+			if worst == "" || classRank(class) > classRank(worst) {
+				worst = class
+			}
+			fmt.Fprintf(d.cfg.Stderr, "service: job %s experiment %s failed: %v\n", j.id, e.Name, runErr)
+		}
+		d.publishSnapshot(j, tel)
+	}
+
+	// Commit outputs even on a failed attempt: partial tables and metrics
+	// are exactly what a human debugging the failure wants, and the final
+	// attempt's files are the job's post-mortem record.
+	outBytes := out.Bytes()
+	if err := runstate.AtomicWrite(filepath.Join(jobDir, jobOutFile), func(w io.Writer) error {
+		_, werr := w.Write(outBytes)
+		return werr
+	}); err != nil {
+		return attemptOutcome{err: err, class: "error"}
+	}
+	var metBuf bytes.Buffer
+	if err := tel.Metrics.WriteJSON(&metBuf); err != nil {
+		return attemptOutcome{err: err, class: "error"}
+	}
+	metBytes := metBuf.Bytes()
+	if err := runstate.AtomicWrite(filepath.Join(jobDir, jobMetricsFile), func(w io.Writer) error {
+		_, werr := w.Write(metBytes)
+		return werr
+	}); err != nil {
+		return attemptOutcome{err: err, class: "error"}
+	}
+
+	if len(failed) > 0 {
+		// Keep a flight-recorder dump alongside the outputs: the last
+		// simulation events before the failure, the same post-mortem the
+		// CLI dumps to stderr on a watchdog kill.
+		dumpErr := runstate.AtomicWrite(filepath.Join(jobDir, jobFlightFile), func(w io.Writer) error {
+			tel.Rec().Dump(w, fmt.Sprintf("job %s attempt %d: %d experiment(s) failed", j.id, attempt, len(failed)))
+			return nil
+		})
+		if dumpErr != nil {
+			fmt.Fprintf(d.cfg.Stderr, "service: job %s flight dump: %v\n", j.id, dumpErr)
+		}
+		if worst == "" {
+			worst = "error"
+		}
+		return attemptOutcome{
+			err:   fmt.Errorf("%d of %d experiments failed (%s): first: %w", len(failed), len(j.progressOrder), worst, firstErr),
+			class: worst,
+		}
+	}
+	return attemptOutcome{
+		outDigest:     runstate.Digest(outBytes),
+		metricsDigest: runstate.Digest(metBytes),
+	}
+}
+
+// openRunJournal opens the job's run journal, resuming when one exists. A
+// journal too damaged to resume is cleared and the job starts fresh — a
+// job must always be runnable from its submit record alone.
+func (d *Daemon) openRunJournal(runDir string, j *job) (*runstate.Journal, error) {
+	opts := runstate.OpenOptions{
+		Config: j.spec.configDigest(),
+		Argv:   []string{"daemon-job", j.id},
+	}
+	if _, err := os.Stat(filepath.Join(runDir, "journal.jsonl")); err == nil {
+		opts.Resume = true
+	}
+	jr, err := runstate.Open(runDir, opts)
+	if err == nil {
+		return jr, nil
+	}
+	if !opts.Resume {
+		return nil, err
+	}
+	fmt.Fprintf(d.cfg.Stderr, "service: job %s run journal unusable (%v), restarting it fresh\n", j.id, err)
+	if rerr := removeJobDir(runDir); rerr != nil {
+		return nil, rerr
+	}
+	opts.Resume = false
+	return runstate.Open(runDir, opts)
+}
+
+// setProgress updates a job's per-experiment progress map.
+func (d *Daemon) setProgress(j *job, exp, state string) {
+	d.mu.Lock()
+	j.progress[exp] = state
+	d.mu.Unlock()
+}
+
+// publishSnapshot stores the job's current metrics snapshot for the
+// lock-free /jobs/{id}/metrics endpoint.
+func (d *Daemon) publishSnapshot(j *job, tel *telemetry.Telemetry) {
+	snap := tel.Reg().Snapshot()
+	j.snap.Store(&snap)
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/runstate"
+	"repro/internal/telemetry"
+)
+
+// JobView is a job's externally visible state — what GET /jobs/{id}
+// returns.
+type JobView struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Spec      Spec   `json:"spec"`
+	Recovered bool   `json:"recovered,omitempty"` // rebuilt from the journal after a restart
+	Attempts  int    `json:"attempts"`
+	Class     string `json:"class,omitempty"` // terminal failure class
+	Error     string `json:"error,omitempty"`
+
+	OutDigest     string `json:"out_digest,omitempty"`
+	MetricsDigest string `json:"metrics_digest,omitempty"`
+
+	SubmittedAt string `json:"submitted_at"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+func (d *Daemon) view(j *job) JobView {
+	v := JobView{
+		ID: j.id, State: j.state, Spec: j.spec, Recovered: j.recovered,
+		Attempts: j.starts, Class: j.class, Error: j.errMsg,
+		OutDigest: j.outDigest, MetricsDigest: j.metricsDigest,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339),
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+	}
+	return v
+}
+
+// List returns every job the daemon knows, in submission order.
+func (d *Daemon) List() []JobView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobView, 0, len(d.order))
+	for _, j := range d.order {
+		out = append(out, d.view(j))
+	}
+	return out
+}
+
+// Get returns one job's view.
+func (d *Daemon) Get(id string) (JobView, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobs[id]
+	if j == nil {
+		return JobView{}, ErrNotFound
+	}
+	return d.view(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state (test convenience).
+func (d *Daemon) Wait(id string) (JobView, error) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	d.mu.Unlock()
+	if j == nil {
+		return JobView{}, ErrNotFound
+	}
+	<-j.done
+	return d.Get(id)
+}
+
+// Handler returns the daemon's HTTP API. Job lifecycle under /jobs,
+// service observability at /metrics (service.* series), /healthz
+// (liveness: the process is up) and /readyz (readiness: admitting jobs —
+// 503 while draining or at capacity), plus /perf and pprof. Per-job
+// metrics and progress are scoped under /jobs/{id}/; see docs/SERVICE.md.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": d.List()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", d.withJob(func(w http.ResponseWriter, r *http.Request, v JobView) {
+		writeJSON(w, http.StatusOK, v)
+	}))
+	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/metrics", d.handleJobMetrics)
+	mux.HandleFunc("GET /jobs/{id}/metrics.json", d.handleJobMetricsJSON)
+	mux.HandleFunc("GET /jobs/{id}/progress", d.handleProgress)
+	mux.HandleFunc("GET /jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		telemetry.WritePrometheusSnapshot(w, d.met.reg.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "alive", "build": perf.Build().String()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		draining := d.draining || d.closed
+		live := len(d.queue)
+		if d.running != nil {
+			live++
+		}
+		capp := d.cfg.QueueCap
+		d.mu.Unlock()
+		switch {
+		case draining:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		case live >= capp:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "overloaded", "queue": live, "cap": capp})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "queue": live, "cap": capp})
+		}
+	})
+	mux.HandleFunc("GET /perf", func(w http.ResponseWriter, r *http.Request) {
+		p := perf.Active()
+		if p == nil {
+			http.Error(w, "perf plane disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		p.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("decode spec: %v", err)})
+		return
+	}
+	id, err := d.Submit(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/jobs/"+id)
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": StateQueued})
+	case errors.Is(err, ErrOverCapacity):
+		// Load shedding: the queue is the backpressure signal. Retry-After
+		// is a hint, not a promise — the client owns its backoff.
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+	}
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := d.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "cancelling"})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+	case errors.Is(err, ErrTerminal):
+		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+}
+
+// handleResult serves a done job's out.txt, digest-verified against the
+// journal's done record so a tampered or torn file is a loud 500, never a
+// silently wrong result.
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := d.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	if v.State != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "job not done", "state": v.State})
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(d.jobDir(id), jobOutFile))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	if got := runstate.Digest(b); got != v.OutDigest {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": "result digest mismatch", "want": v.OutDigest, "got": got,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(b)
+}
+
+// handleJobMetrics serves the job's latest telemetry snapshot in
+// Prometheus text format — live while the job runs, final afterwards.
+func (d *Daemon) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	j := d.jobs[r.PathValue("id")]
+	d.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": ErrNotFound.Error()})
+		return
+	}
+	snap := j.snap.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "job has not produced metrics yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	telemetry.WritePrometheusSnapshot(w, *snap)
+}
+
+// handleJobMetricsJSON serves the job's committed metrics.json — the same
+// deterministic document `adcpsim -metrics` writes — digest-verified for
+// done jobs.
+func (d *Daemon) handleJobMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := d.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(d.jobDir(id), jobMetricsFile))
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "job has not committed metrics yet", "state": v.State})
+		return
+	}
+	if v.State == StateDone {
+		if got := runstate.Digest(b); got != v.MetricsDigest {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": "metrics digest mismatch", "want": v.MetricsDigest, "got": got,
+			})
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (d *Daemon) handleProgress(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	j := d.jobs[r.PathValue("id")]
+	if j == nil {
+		d.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": ErrNotFound.Error()})
+		return
+	}
+	type expState struct {
+		Name  string `json:"name"`
+		State string `json:"state"`
+	}
+	exps := make([]expState, 0, len(j.progressOrder))
+	for _, n := range j.progressOrder {
+		exps = append(exps, expState{Name: n, State: j.progress[n]})
+	}
+	state := j.state
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "state": state, "experiments": exps})
+}
+
+// handleEvents serves a job's lifecycle records — its slice of the job
+// journal, re-read from disk so the response is exactly what a recovery
+// would replay.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := d.Get(id); err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(d.cfg.Dir, jobJournalFile))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	bodies, _, err := runstate.ReplayRaw(data)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	events := []json.RawMessage{}
+	for _, b := range bodies {
+		var rec jobRecord
+		if json.Unmarshal(b, &rec) == nil && rec.ID == id {
+			events = append(events, json.RawMessage(b))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "events": events})
+}
+
+func (d *Daemon) withJob(fn func(http.ResponseWriter, *http.Request, JobView)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, err := d.Get(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		fn(w, r, v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	json.NewDecoder(resp.Body).Decode(&doc)
+	return resp, doc
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, doc := postJob(t, srv, `{"exps":["alpha","beta"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in response: %v", doc)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+id {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	waitState(t, d, id, StateDone)
+
+	code, job := getJSON(t, srv.URL+"/jobs/"+id)
+	if code != 200 || job["state"] != "done" {
+		t.Fatalf("GET /jobs/%s = %d %v", id, code, job)
+	}
+
+	rr, err := http.Get(srv.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != 200 {
+		t.Fatalf("GET result = %d", rr.StatusCode)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := rr.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "ALPHA") || !strings.Contains(sb.String(), "BETA") {
+		t.Fatalf("result body = %q", sb.String())
+	}
+
+	code, list := getJSON(t, srv.URL+"/jobs")
+	if code != 200 {
+		t.Fatalf("GET /jobs = %d", code)
+	}
+	if jobs, _ := list["jobs"].([]any); len(jobs) != 1 {
+		t.Fatalf("job list = %v", list)
+	}
+
+	code, prog := getJSON(t, srv.URL+"/jobs/"+id+"/progress")
+	if code != 200 {
+		t.Fatalf("GET progress = %d", code)
+	}
+	exps, _ := prog["experiments"].([]any)
+	if len(exps) != 2 {
+		t.Fatalf("progress experiments = %v", prog)
+	}
+
+	code, ev := getJSON(t, srv.URL+"/jobs/"+id+"/events")
+	if code != 200 {
+		t.Fatalf("GET events = %d", code)
+	}
+	events, _ := ev["events"].([]any)
+	// submit, admit, start, done
+	if len(events) != 4 {
+		t.Fatalf("events = %v", ev)
+	}
+
+	if code, _ := getJSON(t, srv.URL+"/jobs/j9999"); code != 404 {
+		t.Fatalf("GET unknown job = %d, want 404", code)
+	}
+}
+
+func TestHTTPResultNotReady(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	d := newTestDaemon(t, t.TempDir(), func(c *Config) { c.Experiments = testExps(gate, nil) })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	_, doc := postJob(t, srv, `{"exps":["slow"]}`)
+	id := doc["id"].(string)
+	waitRunning(t, d)
+	if code, _ := getJSON(t, srv.URL+"/jobs/"+id+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of running job = %d, want 409", code)
+	}
+}
+
+func TestHTTPSheds429WithRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	d := newTestDaemon(t, t.TempDir(), func(c *Config) {
+		c.Experiments = testExps(gate, nil)
+		c.QueueCap = 1
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if resp, _ := postJob(t, srv, `{"exps":["slow"]}`); resp.StatusCode != 202 {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	waitRunning(t, d)
+	resp, _ := postJob(t, srv, `{"exps":["alpha"]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Overload is also visible on readiness.
+	if code, doc := getJSON(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || doc["status"] != "overloaded" {
+		t.Fatalf("/readyz under overload = %d %v, want 503 overloaded", code, doc)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if resp, _ := postJob(t, srv, `{"exps":["nonsense"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown experiment = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, srv, `{"bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, srv, `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	d := newTestDaemon(t, t.TempDir(), func(c *Config) { c.Experiments = testExps(gate, nil) })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	_, doc := postJob(t, srv, `{"exps":["slow"]}`)
+	id := doc["id"].(string)
+	waitRunning(t, d)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	waitState(t, d, id, StateCancelled)
+
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE of terminal job = %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndReadiness(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if code, doc := getJSON(t, srv.URL+"/healthz"); code != 200 || doc["status"] != "alive" {
+		t.Fatalf("/healthz = %d %v", code, doc)
+	}
+	if code, doc := getJSON(t, srv.URL+"/readyz"); code != 200 || doc["status"] != "ready" {
+		t.Fatalf("/readyz = %d %v", code, doc)
+	}
+
+	d.Drain(time.Second)
+
+	// Liveness stays green during drain — the process is healthy, it just
+	// isn't admitting. Readiness goes 503.
+	if code, doc := getJSON(t, srv.URL+"/healthz"); code != 200 || doc["status"] != "alive" {
+		t.Fatalf("/healthz during drain = %d %v", code, doc)
+	}
+	if code, doc := getJSON(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || doc["status"] != "draining" {
+		t.Fatalf("/readyz during drain = %d %v, want 503 draining", code, doc)
+	}
+	if resp, _ := postJob(t, srv, `{"exps":["alpha"]}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPServiceMetrics(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	_, doc := postJob(t, srv, `{"exps":["alpha"]}`)
+	id := doc["id"].(string)
+	waitState(t, d, id, StateDone)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, series := range []string{"service_jobs_submitted 1", "service_jobs_done 1", "service_queue_cap 8"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q in:\n%s", series, body)
+		}
+	}
+
+	// Per-job metrics are scoped under the job id.
+	jm, err := http.Get(srv.URL + "/jobs/" + id + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm.Body.Close()
+	if jm.StatusCode != 200 {
+		t.Fatalf("GET /jobs/%s/metrics = %d", id, jm.StatusCode)
+	}
+	mj, err := http.Get(srv.URL + "/jobs/" + id + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj.Body.Close()
+	if mj.StatusCode != 200 {
+		t.Fatalf("GET /jobs/%s/metrics.json = %d", id, mj.StatusCode)
+	}
+}

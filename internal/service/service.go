@@ -1,0 +1,160 @@
+// Package service turns the experiment harness into a long-lived,
+// crash-recovering job daemon: an HTTP job API backed by a durable,
+// bounded job queue, with every accepted job journaled (schema adcp-job/1)
+// through an explicit lifecycle FSM
+//
+//	queued → admitted → running → {done, failed, quarantined, cancelled}
+//
+// so a kill -9 of the daemon at any instant, followed by a restart on the
+// same directory, recovers the queue from disk and resumes in-flight jobs
+// with byte-identical results.
+//
+// The package lifts the single-run guarantees of internal/runstate (PR 8)
+// to a fleet of jobs the same way State-Compute Replication lifts
+// single-core stateful packet processing to shards: each job owns its
+// state — a private run directory journaled by the same crash-safe
+// machinery `adcpsim -run-dir` uses — and the service journal is a second,
+// job-granular log over it. Recovery composes: the job journal replays to
+// rebuild the queue, and each recovered in-flight job resumes its own run
+// journal, restoring completed experiments instead of re-running them.
+//
+// Robustness properties, pinned by tests and the daemon-chaos CI gate:
+//
+//   - Admission control: the queue is bounded; submissions over capacity
+//     are shed (HTTP 429 + Retry-After) without being journaled.
+//   - Watchdogs: every job runs under the wall-clock/event-budget
+//     watchdog plane (internal/experiments.Run).
+//   - Retries + quarantine: failing jobs get bounded, seeded-backoff
+//     retries; a job that exhausts them is quarantined (flight-recorder
+//     post-mortem preserved) without taking down the service, and a job
+//     whose starts crash the daemon repeatedly is quarantined at recovery
+//     (crash-loop protection).
+//   - Graceful drain: SIGTERM stops admission (readiness goes 503),
+//     finishes or checkpoints running jobs, then exits; a checkpointed
+//     job resumes on the next start.
+//
+// Jobs execute one at a time, in admission order: the experiment layer's
+// journal, retry, and event-budget knobs are process-wide, and serial
+// execution is what makes a job's output byte-identical to the batch CLI
+// run of the same spec. Concurrency lives in two other places — the HTTP
+// plane is fully concurrent, and each job's sweep points fan out across
+// the shared parallel worker pool (internal/parallel) under per-job
+// telemetry hubs. See docs/SERVICE.md.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/runstate"
+)
+
+// State is a job's position in the lifecycle FSM.
+type State string
+
+// Lifecycle states. Queued and admitted and running are live; the other
+// four are terminal.
+const (
+	StateQueued      State = "queued"      // accepted and journaled, waiting for the executor
+	StateAdmitted    State = "admitted"    // claimed by the executor, not yet executing
+	StateRunning     State = "running"     // an attempt is executing
+	StateDone        State = "done"        // results committed, digests journaled
+	StateFailed      State = "failed"      // attempts exhausted on a plain experiment error
+	StateQuarantined State = "quarantined" // attempts exhausted on a poison class (panic/watchdog/budget), or crash-looping
+	StateCancelled   State = "cancelled"   // cancelled via the API (or while queued at drain shutdown)
+)
+
+// Terminal reports whether the state ends the FSM.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateQuarantined, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// validNext is the lifecycle FSM: every transition the daemon performs is
+// checked against it, so an impossible hop (done → running, cancelled →
+// admitted) is a programming error caught loudly, not a silent corruption.
+var validNext = map[State][]State{
+	StateQueued:   {StateAdmitted, StateCancelled, StateQuarantined},
+	StateAdmitted: {StateRunning, StateCancelled},
+	StateRunning:  {StateDone, StateFailed, StateQuarantined, StateCancelled, StateQueued},
+}
+
+// canTransition reports whether from → to is a legal FSM edge. running →
+// queued is the drain checkpoint: the attempt is abandoned mid-flight with
+// its run journal intact, and the job re-enqueues on the next start.
+func canTransition(from, to State) bool {
+	for _, n := range validNext[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecSchema identifies the job specification document.
+const SpecSchema = "adcp-jobspec/1"
+
+// Spec is what POST /jobs accepts: which experiments to run and the
+// bounds the job runs under. The zero values select the daemon defaults.
+type Spec struct {
+	// Exps selects experiments by id, in the harness's canonical order
+	// ("all" selects every experiment). Required.
+	Exps []string `json:"exps"`
+	// EventBudget bounds simulated events per experiment (0 = daemon
+	// default; the watchdog plane converts exhaustion into a classified
+	// failure).
+	EventBudget uint64 `json:"event_budget,omitempty"`
+	// TimeoutMs bounds the job's wall-clock time per attempt (0 = daemon
+	// default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MaxAttempts bounds execution attempts (0 = daemon default; retries
+	// back off with seeded jitter and exhaustion quarantines or fails the
+	// job by failure class).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// Validate checks the spec against the experiment table. known maps
+// experiment id → true; "all" is always accepted.
+func (s Spec) Validate(known map[string]bool) error {
+	if len(s.Exps) == 0 {
+		return fmt.Errorf("spec: exps is required (experiment ids, or \"all\")")
+	}
+	for _, e := range s.Exps {
+		if e != "all" && !known[e] {
+			return fmt.Errorf("spec: unknown experiment %q", e)
+		}
+	}
+	if s.MaxAttempts < 0 {
+		return fmt.Errorf("spec: max_attempts must be ≥ 0")
+	}
+	if s.TimeoutMs < 0 {
+		return fmt.Errorf("spec: timeout_ms must be ≥ 0")
+	}
+	return nil
+}
+
+// configDigest canonicalizes the spec fields that change a job's
+// deterministic output — the selection and the event budget — into the
+// digest its run journal records, so a recovered job refuses to resume
+// under a mutated spec. Scheduling knobs (timeout, attempts, the daemon's
+// pool width) are excluded: they never change output bytes.
+func (s Spec) configDigest() string {
+	sel := append([]string(nil), s.Exps...)
+	sort.Strings(sel)
+	canon := fmt.Sprintf("adcp-jobcfg/1 exps=%s event-budget=%d", strings.Join(sel, ","), s.EventBudget)
+	return runstate.Digest([]byte(canon))
+}
+
+// Experiment is one entry of the harness's experiment table, injected by
+// the CLI so the service can run (and validate) job selections without
+// depending on cmd/adcpsim.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer) error
+}
