@@ -544,6 +544,92 @@ func BenchmarkSpanOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine measures the discrete-event core itself on a
+// saturation-shaped event mix: mostly short timers (wheel level 0), a
+// slice of same-timestamp batch members, mid-range timers that exercise
+// the cascade levels, and occasional long timers. The "saturation"
+// sub-benchmark runs the default hierarchical timing wheel with pooled
+// events and records `sim.events_per_s` (benchcheck floor) and
+// `sim.allocs_per_event` (benchcheck ceiling); "legacy-heap" runs the same
+// workload on the retired container/heap queue for comparison, reporting
+// the wheel/heap speedup as a metric. The committed bench_baseline.json
+// value for sim.events_per_s is the legacy-heap throughput measured at the
+// queue swap, so the gate both proves the gain and catches any future
+// collapse; regenerating the baseline tightens the floor to current wheel
+// throughput.
+func BenchmarkEngine(b *testing.B) {
+	// 8192 concurrent self-reposting chains keep the queue at
+	// saturation-like depth, so the structures are compared where it
+	// matters: hundreds of pending events, not a near-empty queue.
+	const runEvents = 1 << 17
+	const chains = 8192
+	drive := func(e *sim.Engine) {
+		rng := sim.NewRNG(7)
+		fired := 0
+		var tick func()
+		tick = func() {
+			fired++
+			if fired >= runEvents {
+				return
+			}
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				e.PostAfter(sim.Time(rng.Intn(200)), tick) // short timers
+			case 4:
+				e.Post(e.Now(), tick) // same-timestamp batch member
+			case 5, 6:
+				e.PostAfter(sim.Time(rng.Intn(1<<15)), tick) // cascade levels
+			case 7:
+				e.PostAfter(sim.Time(1<<21)+sim.Time(rng.Intn(1<<10)), tick)
+			}
+		}
+		for c := 0; c < chains; c++ {
+			e.Post(e.Now()+sim.Time(rng.Intn(1<<12)), tick)
+		}
+		e.Run()
+	}
+	measure := func(b *testing.B) (evps, allocsPerEvent float64) {
+		e := sim.NewEngine()
+		drive(e) // warm the event free list and wheel
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			drive(e)
+		}
+		wall := time.Since(start).Seconds()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		events := float64(b.N) * runEvents
+		evps = events / wall
+		allocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / events
+		b.ReportMetric(evps, "events/s")
+		b.ReportMetric(allocsPerEvent, "allocs/event")
+		return evps, allocsPerEvent
+	}
+	var wheelEvps float64
+	b.Run("saturation", func(b *testing.B) {
+		evps, ape := measure(b)
+		wheelEvps = evps
+		if reg := telemetry.Hub().Reg(); reg != nil {
+			reg.Set("sim.events_per_s", evps)
+			reg.Set("sim.allocs_per_event", ape)
+		}
+	})
+	b.Run("legacy-heap", func(b *testing.B) {
+		prev := sim.SetLegacyHeap(true)
+		defer sim.SetLegacyHeap(prev)
+		evps, _ := measure(b)
+		if wheelEvps > 0 && evps > 0 {
+			b.ReportMetric(wheelEvps/evps, "wheel/heap-speedup")
+			if reg := telemetry.Hub().Reg(); reg != nil {
+				reg.Set("perf.bench.engine_speedup", wheelEvps/evps)
+			}
+		}
+	})
+}
+
 // BenchmarkDaemonJob pins the job daemon's per-job service overhead: the
 // full durable lifecycle — journaled submit, admission, a fresh run
 // directory with its own journal, execution of a trivial experiment,

@@ -118,11 +118,13 @@ const (
 )
 
 // gateFor picks the gate from the series name. Deterministic exp.* series
-// keep the exact band; wall-clock perf.* series gate directionally on the
-// quantities the ROADMAP's speed items move (events/s up, allocs/event
-// down) and are otherwise informational.
+// keep the exact band; wall-clock perf.* series — and the engine
+// micro-benchmark's sim.* series (sim.events_per_s, sim.allocs_per_event,
+// recorded by BenchmarkEngine) — gate directionally on the quantities the
+// ROADMAP's speed items move (events/s up, allocs/event down) and are
+// otherwise informational.
 func gateFor(name string) gate {
-	if !strings.HasPrefix(name, "perf.") {
+	if !strings.HasPrefix(name, "perf.") && !strings.HasPrefix(name, "sim.") {
 		return gateExact
 	}
 	switch {

@@ -145,6 +145,8 @@ func TestGateFor(t *testing.T) {
 		{"perf.bench.bytes_per_event", gateCeiling},
 		{"perf.bench.overhead_ratio", gateNone},
 		{"perf.mem.heap_peak_bytes", gateNone},
+		{"sim.events_per_s", gateFloor},
+		{"sim.allocs_per_event", gateCeiling},
 	}
 	for _, c := range cases {
 		if got := gateFor(c.name); got != c.want {

@@ -364,7 +364,7 @@ func (s *Switch) intoTM1(ctx *pipeline.Context) error {
 			}
 		}
 	}
-	ctx.Emissions = nil
+	ctx.ClearEmissions()
 	return nil
 }
 
@@ -444,7 +444,7 @@ func (s *Switch) routeToTM2(ctx *pipeline.Context) error {
 			}
 		}
 	}
-	ctx.Emissions = nil
+	ctx.ClearEmissions()
 	return nil
 }
 

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestQueueSwapByteIdenticalE16E18 is the golden determinism gate for the
+// timing-wheel queue swap: the saturation sweep (E16) and the
+// fault-injected failover sweep (E18) must produce byte-identical rendered
+// tables and registry exports whether the engine runs the hierarchical
+// wheel or the legacy binary heap, at -parallel 1 and 8. Any divergence
+// means the wheel broke a tie differently than the heap somewhere — a
+// determinism regression even if every metric still "looks right".
+func TestQueueSwapByteIdenticalE16E18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E16+E18 sweeps in -short mode")
+	}
+	run := func(legacy bool, workers int) []byte {
+		prevQ := sim.SetLegacyHeap(legacy)
+		defer sim.SetLegacyHeap(prevQ)
+		prevP := SetParallelism(workers)
+		defer SetParallelism(prevP)
+		var buf bytes.Buffer
+		tel := withRegistryHub(t, func() {
+			satTbl, _, err := Saturation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			failTbl, _, err := Failover(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteString(satTbl.String())
+			buf.WriteString(failTbl.String())
+		})
+		if err := tel.Metrics.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var want []byte
+	for _, legacy := range []bool{true, false} {
+		for _, workers := range []int{1, 8} {
+			got := run(legacy, workers)
+			name := fmt.Sprintf("legacy=%v parallel=%d", legacy, workers)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%s: output differs from heap/parallel=1 reference (%d vs %d bytes)",
+					name, len(got), len(want))
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("experiments produced no output")
+	}
+}

@@ -233,7 +233,7 @@ func (p *Pair) ship() {
 	if arrive > p.lastArrival {
 		p.lastArrival = arrive
 	}
-	p.eng.Schedule(arrive, func() { p.applyBatch(batch) })
+	p.eng.Post(arrive, func() { p.applyBatch(batch) })
 }
 
 // applyBatch re-executes a shipped batch on the standby, in the primary's
@@ -271,7 +271,7 @@ func (p *Pair) Crash() {
 		if p.lastArrival > at {
 			at = p.lastArrival
 		}
-		p.eng.Schedule(at, p.promote)
+		p.eng.Post(at, p.promote)
 	case phaseStandby:
 		p.phase = phaseDead
 	}

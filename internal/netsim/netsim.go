@@ -249,7 +249,7 @@ func New(cfg Config, sw SwitchModel) (*Network, error) {
 		n.pair = pair
 	}
 	if cfg.Faults != nil && cfg.Faults.SwitchCrashAt > 0 {
-		n.eng.Schedule(cfg.Faults.SwitchCrashAt, func() {
+		n.eng.Post(cfg.Faults.SwitchCrashAt, func() {
 			if n.pair != nil {
 				n.pair.Crash()
 			} else {
@@ -431,7 +431,7 @@ func (n *Network) SendAt(src int, pkt *packet.Packet, at sim.Time) {
 		panic(fmt.Sprintf("netsim: host %d out of range", src))
 	}
 	pkt.IngressPort = src
-	n.eng.Schedule(at, func() { n.startSend(src, pkt) })
+	n.eng.Post(at, func() { n.startSend(src, pkt) })
 }
 
 // startSend is a packet's entry into the network: a crashed (or cut-off)
@@ -442,7 +442,7 @@ func (n *Network) startSend(src int, pkt *packet.Packet) {
 	if n.inj != nil {
 		if up := n.inj.ResumeAt(src, now); up > now {
 			n.led.SendDeferrals++
-			n.eng.Schedule(up, func() { n.startSend(src, pkt) })
+			n.eng.Post(up, func() { n.startSend(src, pkt) })
 			return
 		}
 	}
@@ -474,7 +474,7 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 			// and replayed when the switch resumes.
 			n.led.StallDeferrals++
 			n.fr.Record(n.eng.Now(), "stall.defer", int64(coflowOf(pkt)), int64(end))
-			n.eng.Schedule(end, func() {
+			n.eng.Post(end, func() {
 				ch.Advance(n.eng.Now(), telemetry.BucketFailoverStall)
 				n.arriveAtSwitch(pkt, sentAt, ts, ch)
 			})
@@ -496,7 +496,7 @@ func (n *Network) arriveAtSwitch(pkt *packet.Packet, sentAt sim.Time, ts *txStat
 	}
 	if counter != nil && n.swBusyUntil > n.eng.Now() {
 		at := n.swBusyUntil
-		n.eng.Schedule(at, func() {
+		n.eng.Post(at, func() {
 			ch.Advance(n.eng.Now(), telemetry.BucketQueueing)
 			n.arriveAtSwitch(pkt, sentAt, ts, ch)
 		})

@@ -151,7 +151,7 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, ch *telemet
 	}
 	switch out {
 	case faults.OK:
-		n.eng.Schedule(arrive, func() {
+		n.eng.Post(arrive, func() {
 			ch.Advance(n.eng.Now(), telemetry.BucketPropagation)
 			n.arriveAtSwitch(pkt, start, ts, ch)
 		})
@@ -160,7 +160,7 @@ func (n *Network) transmit(src int, pkt *packet.Packet, ts *txState, ch *telemet
 	case faults.Corrupt:
 		// The frame occupies the wire and reaches the switch port, where
 		// the CRC check discards it.
-		n.eng.Schedule(arrive, func() { n.corruptArrival(ts, pkt) })
+		n.eng.Post(arrive, func() { n.corruptArrival(ts, pkt) })
 	}
 	if ts != nil {
 		ts.timer = n.eng.Schedule(done+ts.rto, func() { n.txTimeout(ts) })
@@ -264,7 +264,7 @@ func (n *Network) resendOrAbort(ts *txState, at sim.Time) {
 			when = up
 		}
 	}
-	n.eng.Schedule(when, func() { n.transmit(ts.src, ts.pristine.Clone(), ts, ts.chain, true) })
+	n.eng.Post(when, func() { n.transmit(ts.src, ts.pristine.Clone(), ts, ts.chain, true) })
 }
 
 // sendAck launches the switch's acknowledgement of an intact arrival back
@@ -277,7 +277,7 @@ func (n *Network) sendAck(ts *txState) {
 		n.led.AcksLost++
 		return
 	}
-	n.eng.Schedule(now+n.cfg.PropDelay, func() {
+	n.eng.Post(now+n.cfg.PropDelay, func() {
 		ts.acked = true
 		if ts.timer != nil {
 			n.eng.Cancel(ts.timer)
@@ -325,7 +325,7 @@ func (n *Network) attemptDeliver(dst int, p *packet.Packet, cf uint32, earliest,
 		n.redeliver(rs, done)
 		return
 	}
-	n.eng.Schedule(arrive, func() {
+	n.eng.Post(arrive, func() {
 		ch.Advance(n.eng.Now(), telemetry.BucketPropagation)
 		n.deliver(dst, p, cf, sentAt, ch)
 	})
@@ -372,7 +372,7 @@ func (n *Network) redeliver(rs *rxState, at sim.Time) {
 			when = up
 		}
 	}
-	n.eng.Schedule(when, func() {
+	n.eng.Post(when, func() {
 		n.attemptDeliver(rs.dst, rs.pkt, rs.cf, n.eng.Now(), rs.sentAt, rs, rs.chain, true)
 	})
 }

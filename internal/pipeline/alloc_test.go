@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/packet"
+	"repro/internal/phv"
+)
+
+// TestTraversalAllocsSteadyState pins the tentpole claim at the pipeline
+// layer: once the context free list, PHV pool, and bound-parser buffers
+// are warm, a full parse → stages → release traversal allocates nothing —
+// on the scalar RMT layout and on the ADCP layout with array containers.
+func TestTraversalAllocsSteadyState(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		arrays bool
+	}{
+		{"RMT", DefaultRMTConfig(), false},
+		{"ADCP", DefaultADCPConfig(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			layout := testLayout(t, tc.cfg.PHVBudget)
+			if tc.arrays {
+				for _, name := range []string{"kv_keys", "kv_values"} {
+					if _, err := layout.AllocArray(name); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			p, err := New(tc.cfg, packet.StandardGraph(), layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := &Program{
+				Name:   "alloc-probe",
+				Funcs:  make([]StageFunc, tc.cfg.Stages),
+				Layout: layout,
+			}
+			// A stateful stage plus a PHV-reading stage, so the traversal
+			// exercises register RMW and container access, not just parse.
+			prog.Funcs[0] = func(s *Stage, ctx *Context) error {
+				_, err := s.RegisterRMW(mat.RegAdd, 0, 1)
+				return err
+			}
+			id := layout.Lookup("coflow_id")
+			prog.Funcs[5] = func(s *Stage, ctx *Context) error {
+				ctx.Egress = int(ctx.PHV.Get(id) % 4)
+				return nil
+			}
+			pkt := kvPacket(4)
+			for i := 0; i < 8; i++ { // warm pools and free lists
+				ctx, err := p.Process(pkt, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Release(ctx)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				ctx, err := p.Process(pkt, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Release(ctx)
+			})
+			if allocs != 0 {
+				t.Fatalf("traversal allocates %.1f objects per packet, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestReleaseIsIdempotent: double Release must not hand the same context
+// out twice (the free list would then serve one context to two packets).
+func TestReleaseIsIdempotent(t *testing.T) {
+	p, _ := newTestPipeline(t, DefaultRMTConfig())
+	ctx, err := p.Process(kvPacket(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(ctx)
+	p.Release(ctx)
+	a, err := p.Process(kvPacket(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Process(kvPacket(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("double Release served one context to two live packets")
+	}
+	p.Release(a)
+	p.Release(b)
+}
+
+// TestBoundParseMatchesMapParse runs the same packets through the bound
+// (flat) parser and the legacy map path and demands identical PHV
+// contents, cycle counts, and decode results.
+func TestBoundParseMatchesMapParse(t *testing.T) {
+	cfg := DefaultADCPConfig()
+	build := func(bound bool) (*Pipeline, *phv.Layout) {
+		layout := testLayout(t, cfg.PHVBudget)
+		for _, name := range []string{"kv_keys", "kv_values"} {
+			if _, err := layout.AllocArray(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := New(cfg, packet.StandardGraph(), layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bound {
+			p.bound = nil // force the legacy map path
+		}
+		return p, layout
+	}
+	flat, flatLayout := build(true)
+	legacy, legacyLayout := build(false)
+	if flat.bound == nil {
+		t.Fatal("standard graph did not bind")
+	}
+	for _, n := range []int{0, 1, 3, 8} {
+		pkt := kvPacket(n)
+		fc, err := flat.Process(pkt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc, err := legacy.Process(pkt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.Cycles != lc.Cycles {
+			t.Fatalf("n=%d: bound cycles %d, legacy %d", n, fc.Cycles, lc.Cycles)
+		}
+		for _, name := range []string{"dst_port", "proto", "coflow_id", "kv_op", "kv_count"} {
+			fv := fc.PHV.Get(flatLayout.Lookup(name))
+			lv := lc.PHV.Get(legacyLayout.Lookup(name))
+			if fv != lv {
+				t.Fatalf("n=%d: field %s: bound %d, legacy %d", n, name, fv, lv)
+			}
+		}
+		fk := fc.PHV.Array(flatLayout.Lookup("kv_keys"))
+		lk := lc.PHV.Array(legacyLayout.Lookup("kv_keys"))
+		if len(fk) != len(lk) {
+			t.Fatalf("n=%d: kv_keys len: bound %d, legacy %d", n, len(fk), len(lk))
+		}
+		for i := range fk {
+			if fk[i] != lk[i] {
+				t.Fatalf("n=%d: kv_keys[%d]: bound %d, legacy %d", n, i, fk[i], lk[i])
+			}
+		}
+		flat.Release(fc)
+		legacy.Release(lc)
+	}
+}

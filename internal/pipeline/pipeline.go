@@ -183,6 +183,11 @@ type Context struct {
 	// (e.g. an aggregation result fanned out to workers). The surrounding
 	// switch routes them onward.
 	Emissions []Emission
+
+	// released guards the context free list against double-Release; a
+	// released context is owned by the pipeline until Process hands it
+	// out again.
+	released bool
 }
 
 // Emission is a packet generated inside the switch, destined to one or more
@@ -190,6 +195,16 @@ type Context struct {
 type Emission struct {
 	Pkt   *packet.Packet
 	Ports []int
+}
+
+// ClearEmissions marks the context's emissions consumed: elements are
+// zeroed (so recycled contexts don't pin packets) but the backing array
+// is kept for reuse. Switches call this after routing emissions onward.
+func (c *Context) ClearEmissions() {
+	for i := range c.Emissions {
+		c.Emissions[i] = Emission{}
+	}
+	c.Emissions = c.Emissions[:0]
 }
 
 // Emit queues a switch-generated packet for the given output ports. The
@@ -220,6 +235,14 @@ type Pipeline struct {
 	pool   *phv.Pool
 	layout *phv.Layout
 
+	// bound is the parse graph pre-resolved against the layout (nil when
+	// the graph does not validate; then runInto falls back to the map
+	// path). flat is its reusable result and ctxFree the context free
+	// list: together they make the steady-state traversal allocation-free.
+	bound   *packet.BoundParser
+	flat    packet.FlatResult
+	ctxFree []*Context
+
 	packets     uint64
 	drops       uint64
 	recircs     uint64
@@ -240,6 +263,19 @@ func New(cfg Config, parser *packet.ParseGraph, layout *phv.Layout) (*Pipeline, 
 		parser: parser,
 		layout: layout,
 		pool:   phv.NewPool(layout),
+	}
+	if parser != nil && layout != nil {
+		// Best effort: a graph that fails validation keeps the legacy
+		// map-based parse path (identical behavior, slower).
+		if bound, err := parser.Bind(func(name string, array bool) int {
+			id := layout.Lookup(name)
+			if id == phv.Invalid || layout.IsArray(id) != array {
+				return -1
+			}
+			return int(id)
+		}); err == nil {
+			p.bound = bound
+		}
 	}
 	for i := 0; i < cfg.Stages; i++ {
 		st := &Stage{
@@ -265,9 +301,28 @@ func (p *Pipeline) Stage(i int) *Stage { return p.stages[i] }
 func (p *Pipeline) NumStages() int { return len(p.stages) }
 
 // Process runs one packet through parse → stages → deparse and returns the
-// finished context. The caller must return the context with Release.
+// finished context. The caller must return the context with Release;
+// released contexts are recycled, so neither the context nor its Decoded
+// view may be read after Release.
 func (p *Pipeline) Process(pkt *packet.Packet, prog *Program) (*Context, error) {
-	ctx := &Context{Pkt: pkt, Egress: -1, PHV: p.pool.Get()}
+	var ctx *Context
+	if n := len(p.ctxFree); n > 0 {
+		ctx = p.ctxFree[n-1]
+		p.ctxFree[n-1] = nil
+		p.ctxFree = p.ctxFree[:n-1]
+		ctx.Pkt = pkt
+		ctx.Verdict = VerdictForward
+		ctx.Egress = -1
+		ctx.Multicast = nil
+		ctx.ElementOffset = 0
+		ctx.Modified = false
+		ctx.Cycles = 0
+		ctx.Scratch = [4]uint64{}
+		ctx.released = false
+	} else {
+		ctx = &Context{Pkt: pkt, Egress: -1}
+	}
+	ctx.PHV = p.pool.Get()
 	if err := p.runInto(ctx, prog); err != nil {
 		p.Release(ctx)
 		return nil, err
@@ -285,48 +340,105 @@ func (p *Pipeline) Resume(ctx *Context, prog *Program) error {
 }
 
 func (p *Pipeline) runInto(ctx *Context, prog *Program) error {
-	// Parse.
-	res, err := p.parser.Run(ctx.Pkt.Data, 0)
-	if err != nil {
-		p.parseErrors++
-		return fmt.Errorf("pipeline: parse: %w", err)
-	}
-	for name, val := range res.Fields {
-		if id := p.layout.Lookup(name); id != phv.Invalid && !p.layout.IsArray(id) {
-			ctx.PHV.Set(id, val)
+	// Parse. The bound parser writes slot-keyed flat results into a
+	// reusable buffer; the map path remains for unvalidatable graphs and
+	// is behaviorally identical.
+	if p.bound != nil {
+		res := &p.flat
+		if err := p.bound.Run(ctx.Pkt.Data, 0, res); err != nil {
+			p.parseErrors++
+			return fmt.Errorf("pipeline: parse: %w", err)
 		}
-	}
-	// Array extractions land in array containers when the layout has them
-	// (ADCP §3.2: arrays as first-class parse outputs). RMT layouts have
-	// no array containers, so the data stays packet-only there.
-	for name, vals := range res.Arrays {
-		if id := p.layout.Lookup(name); id != phv.Invalid && p.layout.IsArray(id) {
-			ctx.PHV.SetArray(id, vals)
+		for i := range res.Fields {
+			ctx.PHV.Set(phv.FieldID(res.Fields[i].Slot), res.Fields[i].Val)
 		}
+		// Array extractions land in array containers when the layout has
+		// them (ADCP §3.2: arrays as first-class parse outputs). RMT
+		// layouts have no array containers, so the data stays packet-only
+		// there (the binder drops them to bounds-check-only).
+		for i := range res.Arrays {
+			ctx.PHV.SetArray(phv.FieldID(res.Arrays[i].Slot), res.Arrays[i].Vals)
+		}
+		ctx.Cycles += res.StatesVisited
+	} else {
+		res, err := p.parser.Run(ctx.Pkt.Data, 0)
+		if err != nil {
+			p.parseErrors++
+			return fmt.Errorf("pipeline: parse: %w", err)
+		}
+		for name, val := range res.Fields {
+			if id := p.layout.Lookup(name); id != phv.Invalid && !p.layout.IsArray(id) {
+				ctx.PHV.Set(id, val)
+			}
+		}
+		for name, vals := range res.Arrays {
+			if id := p.layout.Lookup(name); id != phv.Invalid && p.layout.IsArray(id) {
+				ctx.PHV.SetArray(id, vals)
+			}
+		}
+		ctx.Cycles += res.StatesVisited
 	}
 	if err := ctx.Decoded.DecodePacket(ctx.Pkt); err != nil {
 		p.parseErrors++
 		return fmt.Errorf("pipeline: decode: %w", err)
 	}
-	ctx.Cycles += res.StatesVisited
 	if p.observer != nil {
 		p.observer(Event{Kind: EvParsed, Stage: -1, Cycles: ctx.Cycles, Verdict: ctx.Verdict})
 	}
 
-	// Stages.
-	for i, st := range p.stages {
-		st.rmwDone = false
-		if prog != nil && i < len(prog.Funcs) && prog.Funcs[i] != nil {
-			if err := prog.Funcs[i](st, ctx); err != nil {
-				return fmt.Errorf("pipeline: stage %d: %w", i, err)
+	// Stages. Without an observer the traversal is a single flat loop
+	// over the program's populated stages: empty stages contribute their
+	// cycle via arithmetic instead of loop iterations, and no per-stage
+	// closures or events are involved. Cycle accounting telescopes to
+	// exactly the per-stage loop's: a traversal that breaks at stage i
+	// has paid i+1 stage cycles, a full pass all of them.
+	if p.observer == nil {
+		n := len(p.stages)
+		prev := -1
+		if prog != nil {
+			limit := len(prog.Funcs)
+			if n < limit {
+				limit = n
+			}
+			for i := 0; i < limit; i++ {
+				fn := prog.Funcs[i]
+				if fn == nil {
+					continue
+				}
+				ctx.Cycles += i - prev // skipped stages plus this one
+				prev = i
+				st := p.stages[i]
+				st.rmwDone = false
+				if err := fn(st, ctx); err != nil {
+					// The failing stage's own cycle is already counted,
+					// matching the per-stage loop (which counts it only
+					// on success) is moot: errors abort the traversal
+					// before counters publish.
+					return fmt.Errorf("pipeline: stage %d: %w", i, err)
+				}
+				if ctx.Verdict == VerdictDrop || ctx.Verdict == VerdictConsume {
+					break
+				}
 			}
 		}
-		ctx.Cycles++
-		if p.observer != nil {
-			p.observer(Event{Kind: EvStage, Stage: i, Cycles: ctx.Cycles, Verdict: ctx.Verdict})
+		if ctx.Verdict != VerdictDrop && ctx.Verdict != VerdictConsume {
+			ctx.Cycles += n - 1 - prev // trailing empty stages
 		}
-		if ctx.Verdict == VerdictDrop || ctx.Verdict == VerdictConsume {
-			break
+	} else {
+		for i, st := range p.stages {
+			st.rmwDone = false
+			if prog != nil && i < len(prog.Funcs) && prog.Funcs[i] != nil {
+				if err := prog.Funcs[i](st, ctx); err != nil {
+					return fmt.Errorf("pipeline: stage %d: %w", i, err)
+				}
+			}
+			ctx.Cycles++
+			if p.observer != nil {
+				p.observer(Event{Kind: EvStage, Stage: i, Cycles: ctx.Cycles, Verdict: ctx.Verdict})
+			}
+			if ctx.Verdict == VerdictDrop || ctx.Verdict == VerdictConsume {
+				break
+			}
 		}
 	}
 	p.stageCycles += uint64(ctx.Cycles)
@@ -358,12 +470,22 @@ func (p *Pipeline) runInto(ctx *Context, prog *Program) error {
 	return nil
 }
 
-// Release returns the context's PHV to the pool.
+// Release returns the context (and its PHV) to the pipeline's pools.
+// The context must not be read afterwards: Process recycles it. Double
+// release is a safe no-op.
 func (p *Pipeline) Release(ctx *Context) {
-	if ctx != nil && ctx.PHV != nil {
+	if ctx == nil || ctx.released {
+		return
+	}
+	if ctx.PHV != nil {
 		p.pool.Put(ctx.PHV)
 		ctx.PHV = nil
 	}
+	ctx.released = true
+	ctx.Pkt = nil
+	ctx.Multicast = nil
+	ctx.ClearEmissions()
+	p.ctxFree = append(p.ctxFree, ctx)
 }
 
 // Counters is the pipeline's checkpointable traversal accounting.

@@ -224,7 +224,7 @@ func (s *Switch) routeContext(ctx *pipeline.Context) error {
 			}
 		}
 	}
-	ctx.Emissions = nil
+	ctx.ClearEmissions()
 	return nil
 }
 
@@ -343,7 +343,7 @@ func (s *Switch) drainTM() ([]*packet.Packet, error) {
 						}
 					}
 				}
-				ctx.Emissions = nil
+				ctx.ClearEmissions()
 				eg.Release(ctx)
 			}
 		}

@@ -4,8 +4,38 @@
 // Engine: components schedule events at absolute simulated times (measured
 // in integer picoseconds so that clock periods such as 1/1.62 GHz remain
 // exactly representable as integers), and the engine dispatches them in
-// time order. Ties are broken by insertion order, which makes every run
-// fully deterministic for a given seed and schedule sequence.
+// time order.
+//
+// # Ordering contract
+//
+// Dispatch order is the lexicographic order of (timestamp, sequence):
+// events fire in nondecreasing timestamp order, and events sharing a
+// timestamp fire in the order they were scheduled (each Schedule/Post call
+// draws a monotonically increasing sequence number). This tie-break is a
+// hard contract, not an implementation detail — every golden-pinned
+// experiment output, the chaos soak, and the kill-resume identity depend
+// on it — so any replacement queue must be ordering-equivalent to a
+// stable (timestamp, sequence) sort, not merely approximately sorted.
+//
+// # Queue implementation
+//
+// The scheduler is a hierarchical timing wheel: four levels of 256 slots
+// each, indexed by successive bytes of the absolute timestamp, with
+// per-level occupancy bitmaps and intrusive singly-linked slot lists.
+// Near events (within 2^32 ps ≈ 4.3 ms of the cursor) go directly into
+// the wheel; far-future events overflow into a small binary heap and
+// migrate into the wheel when the cursor reaches their 2^32 ps window.
+// Slot lists append at the tail and cascades drain whole slots in list
+// order, so the (timestamp, sequence) contract holds exactly: a level-0
+// slot holds events of a single exact timestamp in increasing sequence
+// order, and Run dispatches such same-timestamp batches through one flat
+// loop. Events posted through the handle-free path are free-listed and
+// recycled at dispatch, so steady-state dispatch allocates nothing.
+//
+// SetLegacyHeap switches engines built afterwards back to the original
+// binary-heap scheduler; the two are ordering-equivalent (the golden
+// heap-vs-wheel test pins byte-identical experiment output) and the
+// switch exists only so that equivalence stays testable.
 package sim
 
 import (
@@ -13,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -52,13 +83,26 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Event index sentinels: idx ≥ 0 means the event sits in a binary heap
+// (the legacy queue or the far-future overflow) at that position.
+const (
+	idxUnqueued = -1 // popped, fired, or eagerly removed
+	idxWheel    = -2 // linked into a timing-wheel slot list
+)
+
 // Event is a scheduled callback.
 type Event struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   func()
-	idx  int // heap index, -1 when popped or canceled
+	next *Event // intrusive slot-list link (wheel mode) / free-list link
+	idx  int    // heap index, or an idx* sentinel
 	dead bool
+
+	// retained marks events whose *Event handle escaped via Schedule:
+	// they are never recycled into the free list, so a late Cancel on an
+	// already-fired handle can never reach an unrelated pooled event.
+	retained bool
 }
 
 // Canceled reports whether the event was canceled before firing.
@@ -91,9 +135,45 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.idx = -1
+	e.idx = idxUnqueued
 	*h = old[:n-1]
 	return e
+}
+
+// Timing-wheel geometry: wheelLevels levels of wheelSlots slots, each
+// level indexed by one byte of the absolute timestamp. The wheel spans
+// 2^wheelSpanBits ps from the cursor; anything further overflows to the
+// far heap.
+const (
+	wheelLevels   = 4
+	wheelBits     = 8
+	wheelSlots    = 1 << wheelBits
+	wheelMask     = wheelSlots - 1
+	wheelSpanBits = wheelLevels * wheelBits
+)
+
+// queue mode, resolved per engine on first use from the process switch.
+const (
+	modeUnset = iota
+	modeWheel
+	modeHeap
+)
+
+// legacyHeap selects the original binary-heap scheduler for engines built
+// (or first used) afterwards. See SetLegacyHeap.
+var legacyHeap atomic.Bool
+
+// SetLegacyHeap switches subsequently built engines to the legacy binary
+// heap (true) or the timing wheel (false), returning the previous value.
+// The two schedulers are ordering-equivalent; this switch exists so the
+// golden determinism test can compare their outputs byte for byte.
+func SetLegacyHeap(v bool) bool { return legacyHeap.Swap(v) }
+
+// slot is one timing-wheel bucket: an intrusive FIFO of events. Appending
+// at the tail preserves scheduling order, which together with in-order
+// cascades realizes the (timestamp, sequence) dispatch contract.
+type slot struct {
+	head, tail *Event
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
@@ -102,10 +182,30 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
 	fired   uint64
 	stopped bool
 	hooks   []DispatchHook
+
+	qmode int
+
+	// Legacy binary-heap queue (qmode == modeHeap).
+	queue eventHeap
+
+	// Timing wheel (qmode == modeWheel). pos is the cursor: no pending
+	// event is earlier than pos, and pos never exceeds the time of the
+	// next event to dispatch (it is rewound to now when the queue drains,
+	// so late schedules behind a speculatively advanced cursor cannot be
+	// misfiled). live counts pending non-canceled events; canceled events
+	// stay linked and are collected lazily. cur caches the level-0 slot
+	// being drained so same-timestamp batches pop in O(1). free is the
+	// recycle list for handle-free (Post) events.
+	pos   Time
+	wheel [wheelLevels][wheelSlots]slot
+	occ   [wheelLevels][wheelSlots / 64]uint64
+	far   eventHeap
+	cur   *slot
+	live  int
+	free  *Event
 
 	// budget, when non-zero, bounds how many events the engine will
 	// dispatch; exceeded flips once the bound is hit and the engine
@@ -138,7 +238,23 @@ func SetDefaultEventBudget(n uint64) uint64 {
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{budget: defaultEventBudget.Load()} }
+func NewEngine() *Engine {
+	e := &Engine{budget: defaultEventBudget.Load()}
+	e.ensureMode()
+	return e
+}
+
+// ensureMode resolves the queue implementation on first use, so zero-value
+// engines keep working and the legacy switch binds at construction time.
+func (e *Engine) ensureMode() {
+	if e.qmode == modeUnset {
+		if legacyHeap.Load() {
+			e.qmode = modeHeap
+		} else {
+			e.qmode = modeWheel
+		}
+	}
+}
 
 // SetEventBudget bounds the total events this engine may dispatch
 // (0 = unbounded). Lowering the budget below the fired count stops the
@@ -155,8 +271,14 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still scheduled (canceled events
+// excluded).
+func (e *Engine) Pending() int {
+	if e.qmode == modeHeap {
+		return len(e.queue)
+	}
+	return e.live
+}
 
 // SetDispatchHook installs h as the only dispatch hook, discarding any
 // hooks added earlier; nil removes all hooks. The hook chain costs one
@@ -180,16 +302,28 @@ func (e *Engine) AddDispatchHook(h DispatchHook) {
 	e.hooks = append(e.hooks, h)
 }
 
-// Schedule registers fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it always indicates a modeling bug, and silently
-// reordering time would destroy determinism.
+// Schedule registers fn to run at absolute time at and returns a handle
+// usable with Cancel. Scheduling in the past (before Now) panics: it
+// always indicates a modeling bug, and silently reordering time would
+// destroy determinism.
+//
+// The returned handle is never recycled, so holding it past the fire time
+// (and even canceling it then) stays safe; hot paths that never cancel
+// should use Post, which reuses event objects and allocates nothing in
+// steady state.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.ensureMode()
+	ev := &Event{at: at, seq: e.seq, fn: fn, retained: true}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	if e.qmode == modeHeap {
+		heap.Push(&e.queue, ev)
+		return ev
+	}
+	e.place(ev)
+	e.live++
 	return ev
 }
 
@@ -201,17 +335,269 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// Post registers fn to run at absolute time at on the handle-free path:
+// no *Event escapes, so the engine recycles the event object at dispatch
+// and steady-state posting allocates nothing. Use Post wherever the
+// caller discards Schedule's handle (it cannot be canceled). Ordering is
+// identical to Schedule — Post draws from the same sequence counter.
+func (e *Engine) Post(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.ensureMode()
+	if e.qmode == modeHeap {
+		ev := &Event{at: at, seq: e.seq, fn: fn}
+		e.seq++
+		heap.Push(&e.queue, ev)
+		return
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.dead = false
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.seq++
+	e.place(ev)
+	e.live++
+}
+
+// PostAfter posts fn to run d after the current time (see Post).
+func (e *Engine) PostAfter(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Post(e.now+d, fn)
+}
+
 // Cancel removes a pending event. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead || ev.idx < 0 {
-		if ev != nil {
-			ev.dead = true
-		}
+	if ev == nil || ev.dead {
 		return
 	}
+	if e.qmode == modeHeap {
+		if ev.idx < 0 {
+			ev.dead = true
+			return
+		}
+		ev.dead = true
+		heap.Remove(&e.queue, ev.idx)
+		return
+	}
+	if ev.idx == idxUnqueued { // already fired
+		ev.dead = true
+		return
+	}
+	// Still queued (wheel slot or far heap): mark dead and collect
+	// lazily at pop/cascade time; only the live count updates now.
 	ev.dead = true
-	heap.Remove(&e.queue, ev.idx)
+	e.live--
+}
+
+// place files ev into the wheel by the highest byte in which its time
+// differs from the cursor, or pushes it to the far heap beyond the wheel
+// span. Slot append order is schedule order, which is sequence order for
+// any single timestamp (far-heap migration happens before the cursor
+// enters a window, so it cannot append behind a later direct insert).
+func (e *Engine) place(ev *Event) {
+	at, pos := uint64(ev.at), uint64(e.pos)
+	diff := at ^ pos
+	var level int
+	switch {
+	case diff < 1<<8:
+		level = 0
+	case diff < 1<<16:
+		level = 1
+	case diff < 1<<24:
+		level = 2
+	case diff < 1<<32:
+		level = 3
+	default:
+		heap.Push(&e.far, ev)
+		return
+	}
+	idx := int(at>>(wheelBits*level)) & wheelMask
+	ev.idx = idxWheel
+	s := &e.wheel[level][idx]
+	if s.tail == nil {
+		s.head = ev
+	} else {
+		s.tail.next = ev
+	}
+	s.tail = ev
+	e.occ[level][idx>>6] |= 1 << (idx & 63)
+}
+
+func (e *Engine) clearBit(level, idx int) {
+	e.occ[level][idx>>6] &^= 1 << (idx & 63)
+}
+
+// scanFrom returns the first occupied slot index ≥ from at the given
+// level, using the occupancy bitmap.
+func (e *Engine) scanFrom(level, from int) (int, bool) {
+	w := from >> 6
+	word := e.occ[level][w] & (^uint64(0) << (from & 63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+		w++
+		if w == wheelSlots/64 {
+			return 0, false
+		}
+		word = e.occ[level][w]
+	}
+}
+
+// release returns a dispatched or dead event to the free list. Retained
+// events (Schedule handles) are only marked unqueued, never recycled.
+func (e *Engine) release(ev *Event) {
+	ev.idx = idxUnqueued
+	ev.fn = nil
+	if ev.retained {
+		return
+	}
+	ev.next = e.free
+	e.free = ev
+}
+
+// cascadeCurrent drains any higher-level slot whose window the cursor has
+// entered, re-filing its events at strictly lower levels. List order is
+// preserved, so relative (timestamp, sequence) order survives every
+// cascade. Reports whether anything moved.
+func (e *Engine) cascadeCurrent() bool {
+	for l := 1; l < wheelLevels; l++ {
+		idx := int(uint64(e.pos)>>(wheelBits*l)) & wheelMask
+		s := &e.wheel[l][idx]
+		if s.head == nil {
+			continue
+		}
+		e.clearBit(l, idx)
+		ev := s.head
+		s.head, s.tail = nil, nil
+		for ev != nil {
+			next := ev.next
+			ev.next = nil
+			if ev.dead {
+				e.release(ev)
+			} else {
+				e.place(ev)
+			}
+			ev = next
+		}
+		return true
+	}
+	return false
+}
+
+// advanceCursor moves the cursor to the start of the nearest occupied
+// later window (the lowest level wins: its windows are nearer in time).
+// Reports false when the wheel holds nothing ahead.
+func (e *Engine) advanceCursor() bool {
+	for l := 1; l < wheelLevels; l++ {
+		shift := wheelBits * l
+		cur := int(uint64(e.pos)>>shift) & wheelMask
+		if cur+1 >= wheelSlots {
+			continue
+		}
+		if idx, ok := e.scanFrom(l, cur+1); ok {
+			base := uint64(e.pos) &^ (uint64(1)<<shift - 1)
+			base = base&^(uint64(wheelMask)<<shift) | uint64(idx)<<shift
+			e.pos = Time(base)
+			return true
+		}
+	}
+	return false
+}
+
+// nextSlot advances the cursor to the next occupied exact-timestamp slot
+// and returns it, migrating far-future events and cascading windows as
+// the cursor reaches them. Returns nil when nothing is queued (live or
+// dead-but-linked far events included).
+func (e *Engine) nextSlot() *slot {
+	for {
+		// Far-future overflow: migrate once its wheel-span window is
+		// current. Heap pop order is (at, seq), and migration completes
+		// before any callback in this window can schedule, so slot
+		// append order stays sequence order.
+		for len(e.far) > 0 && uint64(e.far[0].at)>>wheelSpanBits == uint64(e.pos)>>wheelSpanBits {
+			ev := heap.Pop(&e.far).(*Event)
+			if ev.dead {
+				e.release(ev)
+				continue
+			}
+			e.place(ev)
+		}
+		if e.cascadeCurrent() {
+			continue
+		}
+		if idx, ok := e.scanFrom(0, int(uint64(e.pos))&wheelMask); ok {
+			s := &e.wheel[0][idx]
+			if s.head == nil { // stale bit
+				e.clearBit(0, idx)
+				continue
+			}
+			e.pos = Time(uint64(e.pos)&^wheelMask | uint64(idx))
+			return s
+		}
+		if e.advanceCursor() {
+			continue
+		}
+		if len(e.far) > 0 {
+			e.pos = e.far[0].at
+			continue
+		}
+		return nil
+	}
+}
+
+// popWheel removes the next event in (timestamp, sequence) order,
+// recycling dead events as it goes. It returns nil when the queue is
+// fully drained, rewinding the cursor to now so that events scheduled
+// afterwards (later than now but earlier than the speculatively advanced
+// cursor) are still filed correctly.
+func (e *Engine) popWheel() *Event {
+	for {
+		s := e.cur
+		if s == nil || s.head == nil {
+			s = e.nextSlot()
+			if s == nil {
+				e.cur = nil
+				e.pos = e.now
+				return nil
+			}
+			e.cur = s
+		}
+		ev := s.head
+		s.head = ev.next
+		ev.next = nil
+		if s.head == nil {
+			s.tail = nil
+			e.clearBit(0, int(uint64(ev.at))&wheelMask)
+		}
+		if ev.dead {
+			e.release(ev)
+			continue
+		}
+		e.live--
+		return ev
+	}
+}
+
+// dispatch fires one live, already-popped event.
+func (e *Engine) dispatch(ev *Event) {
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	e.release(ev)
+	for _, h := range e.hooks {
+		h(e.now, e.live, e.fired)
+	}
+	fn()
 }
 
 // Step dispatches the next event. It reports false when the queue is empty
@@ -222,46 +608,223 @@ func (e *Engine) Step() bool {
 		e.exceeded = true
 		return false
 	}
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
+	e.ensureMode()
+	if e.qmode == modeHeap {
+		for len(e.queue) > 0 {
+			ev := heap.Pop(&e.queue).(*Event)
+			if ev.dead {
+				continue
+			}
+			e.now = ev.at
+			e.fired++
+			for _, h := range e.hooks {
+				h(ev.at, len(e.queue), e.fired)
+			}
+			ev.fn()
+			return true
 		}
-		e.now = ev.at
-		e.fired++
-		for _, h := range e.hooks {
-			h(ev.at, len(e.queue), e.fired)
-		}
-		ev.fn()
-		return true
+		return false
 	}
-	return false
+	ev := e.popWheel()
+	if ev == nil {
+		return false
+	}
+	e.dispatch(ev)
+	return true
 }
 
-// Run dispatches events until the queue is empty or Stop is called.
+// Run dispatches events until the queue is empty or Stop is called. In
+// wheel mode this is the batched hot loop: consecutive same-timestamp
+// events pop from the cached current slot in O(1) with no queue reshaping
+// between them, and events a callback schedules for the current timestamp
+// join the tail of the same batch.
 func (e *Engine) Run() {
+	e.ensureMode()
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	if e.qmode == modeHeap {
+		for !e.stopped && e.Step() {
+		}
+		return
+	}
+	for !e.stopped {
+		if e.budget > 0 && e.fired >= e.budget {
+			e.exceeded = true
+			return
+		}
+		ev := e.popWheel()
+		if ev == nil {
+			return
+		}
+		e.dispatch(ev)
 	}
 }
 
 // RunUntil dispatches events with time ≤ deadline, then sets the clock to
 // the deadline (if it is later than the last event).
 func (e *Engine) RunUntil(deadline Time) {
+	e.ensureMode()
 	e.stopped = false
+	if e.qmode == modeHeap {
+		for !e.stopped {
+			if len(e.queue) == 0 {
+				break
+			}
+			// Peek.
+			if e.queue[0].at > deadline {
+				break
+			}
+			if !e.Step() {
+				break
+			}
+		}
+		if e.now < deadline {
+			e.now = deadline
+		}
+		return
+	}
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		t, ok := e.peekTime()
+		if !ok || t > deadline {
 			break
 		}
-		// Peek.
-		if e.queue[0].at > deadline {
+		if !e.Step() {
 			break
 		}
-		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// peekTime returns the timestamp of the next live event without moving
+// the cursor past it (cascading a window the cursor has already entered
+// is cursor-neutral and allowed; advancing the cursor is not, because a
+// later Schedule may target a time between now and the peeked event).
+func (e *Engine) peekTime() (Time, bool) {
+	for {
+		// Current batch slot first: it holds events at exactly pos.
+		if s := e.cur; s != nil {
+			for s.head != nil && s.head.dead {
+				ev := s.head
+				s.head = ev.next
+				ev.next = nil
+				if s.head == nil {
+					s.tail = nil
+					e.clearBit(0, int(uint64(ev.at))&wheelMask)
+				}
+				e.release(ev)
+			}
+			if s.head != nil {
+				return s.head.at, true
+			}
+			e.cur = nil
+		}
+		for len(e.far) > 0 && uint64(e.far[0].at)>>wheelSpanBits == uint64(e.pos)>>wheelSpanBits {
+			ev := heap.Pop(&e.far).(*Event)
+			if ev.dead {
+				e.release(ev)
+				continue
+			}
+			e.place(ev)
+		}
+		if e.cascadeCurrent() {
+			continue
+		}
+		if idx, ok := e.scanFrom(0, int(uint64(e.pos))&wheelMask); ok {
+			s := &e.wheel[0][idx]
+			for s.head != nil && s.head.dead {
+				ev := s.head
+				s.head = ev.next
+				ev.next = nil
+				e.release(ev)
+			}
+			if s.head == nil {
+				s.tail = nil
+				e.clearBit(0, idx)
+				continue
+			}
+			return s.head.at, true
+		}
+		// Nothing in the current window: the earliest live event is the
+		// minimum of the nearest occupied later window (lowest level is
+		// nearest; one list walk, pruning dead events in place).
+		for l := 1; l < wheelLevels; l++ {
+			shift := wheelBits * l
+			cur := int(uint64(e.pos)>>shift) & wheelMask
+			if cur+1 >= wheelSlots {
+				continue
+			}
+			idx, ok := e.scanFrom(l, cur+1)
+			if !ok {
+				continue
+			}
+			if t, ok := e.pruneMin(l, idx); ok {
+				return t, true
+			}
+			// Slot held only dead events; rescan from the top.
+			break
+		}
+		if e.wheelLive() {
+			continue
+		}
+		// Far heap only: prune dead tops, then its root is the minimum.
+		for len(e.far) > 0 && e.far[0].dead {
+			e.release(heap.Pop(&e.far).(*Event))
+		}
+		if len(e.far) > 0 {
+			return e.far[0].at, true
+		}
+		return 0, false
+	}
+}
+
+// pruneMin unlinks dead events from one slot list and returns the minimum
+// timestamp among the survivors (false if the slot emptied).
+func (e *Engine) pruneMin(level, idx int) (Time, bool) {
+	s := &e.wheel[level][idx]
+	var prev *Event
+	min := Forever
+	found := false
+	for ev := s.head; ev != nil; {
+		next := ev.next
+		if ev.dead {
+			if prev == nil {
+				s.head = next
+			} else {
+				prev.next = next
+			}
+			if next == nil {
+				s.tail = prev
+			}
+			ev.next = nil
+			e.release(ev)
+		} else {
+			if ev.at < min {
+				min = ev.at
+			}
+			found = true
+			prev = ev
+		}
+		ev = next
+	}
+	if s.head == nil {
+		s.tail = nil
+		e.clearBit(level, idx)
+	}
+	return min, found
+}
+
+// wheelLive reports whether any wheel bitmap bit is set (events may still
+// be dead; callers loop until the state settles).
+func (e *Engine) wheelLive() bool {
+	for l := 0; l < wheelLevels; l++ {
+		for _, w := range e.occ[l] {
+			if w != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Stop makes the current Run/RunUntil return after the in-flight event.

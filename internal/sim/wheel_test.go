@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// withLegacyHeap runs fn with the process queue switch set to the legacy
+// binary heap, restoring the previous mode afterwards.
+func withLegacyHeap(fn func()) {
+	prev := SetLegacyHeap(true)
+	defer SetLegacyHeap(prev)
+	fn()
+}
+
+// TestWheelHeapEquivalence drives the timing wheel and the legacy heap
+// with the same randomized workload — bursty timestamps spanning all
+// wheel levels and the far-future overflow, same-time ties, cancels, and
+// callback-scheduled events — and demands identical dispatch traces.
+// This is the unit-level half of the ordering contract; the golden
+// experiment test pins the same equivalence end to end.
+func TestWheelHeapEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		trace := func(legacy bool) []string {
+			prev := SetLegacyHeap(legacy)
+			defer SetLegacyHeap(prev)
+			e := NewEngine()
+			rng := NewRNG(uint64(seed))
+			var got []string
+			var evs []*Event
+			id := 0
+			schedule := func(base Time) {
+				id++
+				n := id
+				// Span slot boundaries, levels, and the wheel horizon.
+				var d Time
+				switch rng.Intn(6) {
+				case 0:
+					d = 0 // exact tie
+				case 1:
+					d = Time(rng.Intn(256))
+				case 2:
+					d = Time(rng.Intn(1 << 16))
+				case 3:
+					d = Time(rng.Intn(1 << 24))
+				case 4:
+					d = Time(rng.Int63() % (1 << 33)) // beyond the wheel span
+				case 5:
+					d = Time(rng.Intn(3)) * (1 << 16) // window edges
+				}
+				at := base + d
+				if rng.Intn(3) == 0 {
+					e.Post(at, func() { got = append(got, fmt.Sprintf("p%d@%d", n, e.Now())) })
+				} else {
+					evs = append(evs, e.Schedule(at, func() { got = append(got, fmt.Sprintf("s%d@%d", n, e.Now())) }))
+				}
+			}
+			for i := 0; i < 200; i++ {
+				schedule(0)
+			}
+			for i := 0; i < 40; i++ {
+				e.Cancel(evs[rng.Intn(len(evs))])
+			}
+			// A slice of events reschedule more work from inside callbacks.
+			for i := 0; i < 30; i++ {
+				at := Time(rng.Intn(1 << 20))
+				e.Schedule(at, func() {
+					for j := 0; j < 3; j++ {
+						schedule(e.Now())
+					}
+					if len(evs) > 0 {
+						e.Cancel(evs[rng.Intn(len(evs))])
+					}
+				})
+			}
+			e.Run()
+			return got
+		}
+		heapTrace := trace(true)
+		wheelTrace := trace(false)
+		if len(heapTrace) != len(wheelTrace) {
+			t.Fatalf("seed %d: heap fired %d events, wheel %d", seed, len(heapTrace), len(wheelTrace))
+		}
+		for i := range heapTrace {
+			if heapTrace[i] != wheelTrace[i] {
+				t.Fatalf("seed %d: dispatch %d diverged: heap %q wheel %q", seed, i, heapTrace[i], wheelTrace[i])
+			}
+		}
+	}
+}
+
+// TestWheelFarFutureOrdering crosses the 2^32 ps wheel horizon several
+// times with interleaved near and far events sharing timestamps.
+func TestWheelFarFutureOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	span := Time(1) << wheelSpanBits
+	times := []Time{10, span - 1, span, span + 5, 3 * span, 3*span + 5, 3*span + 5, 10 * span}
+	for i, at := range times {
+		i := i
+		e.Schedule(at, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("far-future dispatch order %v, want identity", got)
+		}
+	}
+	if e.Now() != 10*span {
+		t.Fatalf("Now = %v, want %v", e.Now(), 10*span)
+	}
+}
+
+// TestWheelFarFutureTieWithLateSchedule pins the migration ordering
+// argument: a far-future event scheduled first (lower sequence) must fire
+// before a same-timestamp event scheduled later from inside a callback
+// (higher sequence, direct wheel insert).
+func TestWheelFarFutureTieWithLateSchedule(t *testing.T) {
+	e := NewEngine()
+	span := Time(1) << wheelSpanBits
+	target := 2*span + 7
+	var got []string
+	e.Schedule(target, func() { got = append(got, "far-first") })
+	e.Schedule(span+1, func() {
+		e.Schedule(target, func() { got = append(got, "near-second") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "far-first" || got[1] != "near-second" {
+		t.Fatalf("got %v, want [far-first near-second]", got)
+	}
+}
+
+// TestPostOrderingMatchesSchedule: Post draws from the same sequence
+// counter, so same-timestamp Post and Schedule calls interleave in call
+// order.
+func TestPostOrderingMatchesSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Post(10, func() { got = append(got, 0) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Post(10, func() { got = append(got, 2) })
+	e.PostAfter(10, func() { got = append(got, 3) })
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("order %v, want identity", got)
+		}
+	}
+}
+
+// TestPostRecyclesEvents: the handle-free path reuses event objects, and
+// recycled events must not resurrect stale cancel state.
+func TestPostRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var step func()
+	step = func() {
+		fired++
+		if fired < 1000 {
+			e.PostAfter(Nanosecond, step)
+		}
+	}
+	e.Post(0, step)
+	e.Run()
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
+// TestScheduleHandleSafeAfterRecycles: a Schedule handle canceled long
+// after it fired — with pooled events having churned through the free
+// list meanwhile — must stay a no-op (retained events never enter the
+// pool).
+func TestScheduleHandleSafeAfterRecycles(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() {})
+	for i := 2; i < 100; i++ {
+		e.Post(Time(i), func() {})
+	}
+	e.Run()
+	survived := false
+	e.Post(200, func() { survived = true })
+	e.Cancel(h) // fired long ago; must not kill the pooled event above
+	e.Run()
+	if !survived {
+		t.Fatal("late Cancel of a fired handle reached an unrelated pooled event")
+	}
+}
+
+// TestWheelCancelFarFuture cancels events parked in the overflow heap.
+func TestWheelCancelFarFuture(t *testing.T) {
+	e := NewEngine()
+	span := Time(1) << wheelSpanBits
+	ev := e.Schedule(2*span, func() { t.Error("canceled far event fired") })
+	ok := false
+	e.Schedule(2*span+1, func() { ok = true })
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("live far event did not fire")
+	}
+}
+
+// TestRunUntilDoesNotStrandCursor: peeking past a deadline must not
+// misfile events scheduled afterwards at times between the deadline and
+// the peeked event.
+func TestRunUntilDoesNotStrandCursor(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(100000, func() { got = append(got, e.Now()) })
+	e.RunUntil(50) // peeks 100000, dispatches nothing
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+	e.Schedule(60, func() { got = append(got, e.Now()) })
+	e.Schedule(300, func() { got = append(got, e.Now()) })
+	e.Run()
+	want := []Time{60, 300, 100000}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunUntilAfterCancelAllBeforeDeadline: dead events ahead of the
+// deadline are pruned without dispatching anything beyond it.
+func TestRunUntilAfterCancelAllBeforeDeadline(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(10, func() { t.Error("canceled event fired") })
+	fired := false
+	e.Schedule(1000, func() { fired = true })
+	e.Cancel(a)
+	e.RunUntil(100)
+	if fired {
+		t.Fatal("event beyond the deadline fired")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("pending event lost")
+	}
+}
+
+// TestLegacyHeapSwitch: engines bind the queue mode at construction, and
+// the legacy engine still satisfies the basic contract.
+func TestLegacyHeapSwitch(t *testing.T) {
+	withLegacyHeap(func() {
+		e := NewEngine()
+		var got []int
+		e.Schedule(20, func() { got = append(got, 1) })
+		e.Post(10, func() { got = append(got, 0) })
+		ev := e.Schedule(15, func() { got = append(got, 99) })
+		e.Cancel(ev)
+		e.Run()
+		if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("legacy trace %v, want [0 1]", got)
+		}
+	})
+}
+
+// TestDispatchAllocsSteadyState pins the tentpole claim at the engine
+// layer: once the free list is warm, posting and dispatching events
+// allocates nothing.
+func TestDispatchAllocsSteadyState(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n%1000 != 0 {
+			e.PostAfter(Nanosecond, step)
+		}
+	}
+	// Warm the free list and code paths.
+	e.Post(0, step)
+	e.Run()
+	allocs := testing.AllocsPerRun(10, func() {
+		e.Post(e.Now(), step)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("engine dispatch allocates %.1f objects per 1000-event run, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineWheelPost(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n%8 != 0 {
+			e.PostAfter(Nanosecond, step)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(e.Now(), step)
+		e.Run()
+	}
+}
+
+func BenchmarkEngineHeapScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	withLegacyHeap(func() {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine()
+			for j := 0; j < 100; j++ {
+				e.Schedule(Time(j), func() {})
+			}
+			e.Run()
+		}
+	})
+}

@@ -69,8 +69,14 @@ type Observer func(ev Event)
 // memory pool: per-output FIFO queues that together may hold at most
 // bufferBytes of packet data. Enqueueing beyond the budget drops the packet
 // (tail drop), which the caller observes and the stats record.
+//
+// Queues are ring-ish buffers: dequeue advances a head index instead of
+// reslicing, and a fully drained queue is reset to reuse its backing
+// array. The drain-until-empty pattern the switches use therefore stops
+// allocating once the queues reach their working-set size.
 type SharedMemoryTM struct {
 	queues    [][]*packet.Packet
+	heads     []int // first live element of each queue
 	bufBytes  int
 	usedBytes int
 
@@ -82,9 +88,12 @@ type SharedMemoryTM struct {
 	obs Observer
 
 	// clock, when set, timestamps enqueues so dequeues can report the
-	// packet's queueing delay (Event.WaitPs). times mirrors queues.
-	clock func() sim.Time
-	times [][]sim.Time
+	// packet's queueing delay (Event.WaitPs). times mirrors queues, with
+	// its own heads (the clock can be installed mid-run, so the two can
+	// hold different element counts).
+	clock  func() sim.Time
+	times  [][]sim.Time
+	theads []int
 }
 
 // NewSharedMemoryTM builds a TM with numOutputs queues sharing bufferBytes.
@@ -94,6 +103,7 @@ func NewSharedMemoryTM(numOutputs, bufferBytes int) *SharedMemoryTM {
 	}
 	return &SharedMemoryTM{
 		queues:   make([][]*packet.Packet, numOutputs),
+		heads:    make([]int, numOutputs),
 		bufBytes: bufferBytes,
 	}
 }
@@ -117,9 +127,10 @@ func (t *SharedMemoryTM) SetClock(clock func() sim.Time) {
 	}
 	if t.times == nil {
 		t.times = make([][]sim.Time, len(t.queues))
+		t.theads = make([]int, len(t.queues))
 	}
 	for out, q := range t.queues {
-		for len(t.times[out]) < len(q) {
+		for len(t.times[out])-t.theads[out] < len(q)-t.heads[out] {
 			t.times[out] = append(t.times[out], -1)
 		}
 	}
@@ -174,17 +185,30 @@ func (t *SharedMemoryTM) EnqueueMulticast(outs []int, p *packet.Packet) int {
 // Dequeue removes and returns the head of queue out, or nil when empty.
 func (t *SharedMemoryTM) Dequeue(out int) *packet.Packet {
 	q := t.queues[out]
-	if len(q) == 0 {
+	h := t.heads[out]
+	if h >= len(q) {
 		return nil
 	}
-	p := q[0]
-	t.queues[out] = q[1:]
+	p := q[h]
+	q[h] = nil
+	if h+1 == len(q) {
+		t.queues[out] = q[:0]
+		t.heads[out] = 0
+	} else {
+		t.heads[out] = h + 1
+	}
 	wait := int64(-1)
-	if t.clock != nil && len(t.times[out]) > 0 {
-		if at := t.times[out][0]; at >= 0 {
+	if t.clock != nil && t.theads[out] < len(t.times[out]) {
+		th := t.theads[out]
+		if at := t.times[out][th]; at >= 0 {
 			wait = int64(t.clock() - at)
 		}
-		t.times[out] = t.times[out][1:]
+		if th+1 == len(t.times[out]) {
+			t.times[out] = t.times[out][:0]
+			t.theads[out] = 0
+		} else {
+			t.theads[out] = th + 1
+		}
 	}
 	t.usedBytes -= p.WireLen()
 	t.dequeued++
@@ -195,7 +219,7 @@ func (t *SharedMemoryTM) Dequeue(out int) *packet.Packet {
 }
 
 // QueueLen returns the number of packets waiting on output out.
-func (t *SharedMemoryTM) QueueLen(out int) int { return len(t.queues[out]) }
+func (t *SharedMemoryTM) QueueLen(out int) int { return len(t.queues[out]) - t.heads[out] }
 
 // Occupancy returns the bytes currently buffered.
 func (t *SharedMemoryTM) Occupancy() int { return t.usedBytes }
@@ -246,8 +270,8 @@ func (t *SharedMemoryTM) RestoreCounters(c Counters) error {
 // Pending returns total packets buffered across all queues.
 func (t *SharedMemoryTM) Pending() int {
 	n := 0
-	for _, q := range t.queues {
-		n += len(q)
+	for out, q := range t.queues {
+		n += len(q) - t.heads[out]
 	}
 	return n
 }
